@@ -1,0 +1,159 @@
+// Command dbtrun executes one guest program under the two-phase dynamic
+// binary translator and dumps the resulting profile snapshot — the
+// on-line half of the paper's methodology. The snapshots it writes are
+// consumed by cmd/profcmp, the off-line analysis tool.
+//
+// Usage:
+//
+//	dbtrun -bench mcf [-input ref] [-scale 1] [-T 2000] [-o inip.json]
+//	dbtrun -image prog.sg32 -T 0            # AVEP (no optimization)
+//	dbtrun -asm prog.s -T 500 -stats -dump
+//
+// -T 0 disables the optimization phase (an AVEP/average-profile run);
+// any other value is the retranslation threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dbt"
+	"repro/internal/guest"
+	"repro/internal/interp"
+	"repro/internal/perfmodel"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "synthetic SPEC2000 benchmark name")
+		imageFile = flag.String("image", "", "SG32 binary image to run")
+		asmFile   = flag.String("asm", "", "SG32 assembler source to run")
+		input     = flag.String("input", "ref", "input name: ref or train")
+		scale     = flag.Float64("scale", 1.0, "benchmark scale factor (with -bench)")
+		threshold = flag.Uint64("T", 0, "retranslation threshold; 0 = no optimization (AVEP)")
+		seed      = flag.String("seed", "", "tape seed override (defaults to <name>/<input>)")
+		outFile   = flag.String("o", "", "write the profile snapshot as JSON to this file")
+		dump      = flag.Bool("dump", false, "print a human-readable profile dump")
+		stats     = flag.Bool("stats", false, "print run statistics")
+		perf      = flag.Bool("perf", false, "enable the cycle model and report simulated cycles")
+		adaptive  = flag.Bool("adaptive", false, "dissolve and rebuild regions whose side-exit rate shows a behaviour change")
+		contTrip  = flag.Bool("continuous-trips", false, "keep loop-back instrumentation alive in optimized loop regions")
+		converge  = flag.Float64("converge", 0, "register blocks on probability convergence with this epsilon (0 = fixed threshold)")
+	)
+	flag.Parse()
+
+	img, tape, err := load(*benchName, *imageFile, *asmFile, *input, *scale, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := dbt.Config{
+		Input:               *input,
+		Threshold:           *threshold,
+		Optimize:            *threshold > 0,
+		RegisterTwice:       true,
+		Adaptive:            *adaptive,
+		ContinuousTripCount: *contTrip,
+	}
+	if *converge > 0 {
+		cfg.ConvergeRegister = true
+		cfg.ConvergeEpsilon = *converge
+	}
+	if *perf {
+		cfg.Perf = perfmodel.NewAccumulator(perfmodel.DefaultParams())
+	}
+	snap, runStats, err := dbt.Run(img, tape, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := snap.Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *dump {
+		fmt.Print(snap.Dump())
+	}
+	if *stats {
+		fmt.Printf("blocks executed:    %d\n", runStats.BlocksExecuted)
+		fmt.Printf("instructions:       %d\n", runStats.Instructions)
+		fmt.Printf("blocks translated:  %d\n", runStats.BlocksTranslated)
+		fmt.Printf("optimization waves: %d\n", runStats.OptimizationWaves)
+		fmt.Printf("regions formed:     %d\n", runStats.RegionsFormed)
+		if runStats.RegionsDissolved > 0 {
+			fmt.Printf("regions dissolved:  %d\n", runStats.RegionsDissolved)
+		}
+		fmt.Printf("region entries:     %d (completions %d, loop-backs %d, side exits %d)\n",
+			runStats.RegionEntries, runStats.RegionCompletions, runStats.RegionLoopBacks, runStats.RegionSideExits)
+		fmt.Printf("profiling ops:      %d\n", snap.ProfilingOps)
+		if *perf {
+			fmt.Printf("simulated cycles:   %.0f\n", runStats.Cycles)
+		}
+	}
+	if *outFile == "" && !*dump && !*stats {
+		fmt.Printf("%s/%s T=%d: %d blocks, %d regions, %d profiling ops\n",
+			snap.Program, snap.Input, snap.Threshold, len(snap.Blocks), len(snap.Regions), snap.ProfilingOps)
+	}
+}
+
+func load(bench, image, asm, input string, scale float64, seed string) (*guest.Image, interp.Tape, error) {
+	sources := 0
+	for _, s := range []string{bench, image, asm} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, nil, fmt.Errorf("exactly one of -bench, -image, -asm is required")
+	}
+	switch {
+	case bench != "":
+		b := spec.ByName(bench)
+		if b == nil {
+			return nil, nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return b.Build(input, scale)
+	case image != "":
+		f, err := os.Open(image)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		img, err := guest.Load(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		if seed == "" {
+			seed = img.Name + "/" + input
+		}
+		return img, interp.NewUniformTape(seed), nil
+	default:
+		src, err := os.ReadFile(asm)
+		if err != nil {
+			return nil, nil, err
+		}
+		img, err := guest.Assemble(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+		if seed == "" {
+			seed = img.Name + "/" + input
+		}
+		return img, interp.NewUniformTape(seed), nil
+	}
+}

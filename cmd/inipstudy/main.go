@@ -1,0 +1,141 @@
+// Command inipstudy regenerates the paper's evaluation figures (8-18)
+// over the synthetic SPEC2000 suite.
+//
+// Usage:
+//
+//	inipstudy [-scale 0.01] [-fig all|fig8,fig17] [-bench mcf,gzip]
+//	          [-chart] [-json] [-v]
+//
+// The default scale of 1.0 runs the paper's actual threshold ladder
+// 100..4M (a few minutes); -scale 0.1 gives a quick low-resolution pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/spec"
+	"repro/internal/study"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0, "paper-unit scale factor")
+		figSel  = flag.String("fig", "all", "comma-separated figure ids (fig8..fig18) or 'all'")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: full suite)")
+		chart   = flag.Bool("chart", false, "render ASCII charts in addition to tables")
+		asJSON  = flag.Bool("json", false, "emit figure data as JSON")
+		asMD    = flag.String("md", "", "write all figures as a markdown report to this file")
+		verbose = flag.Bool("v", false, "print per-benchmark progress")
+		ext     = flag.Bool("ext", false, "run the section-5 extension experiment instead of the figures")
+		extT    = flag.Float64("extT", 2000, "paper-unit threshold for -ext")
+		conv    = flag.Bool("conv", false, "run the threshold-selection (convergence) experiment instead of the figures")
+	)
+	flag.Parse()
+
+	if *conv {
+		var names []string
+		if *benches != "" {
+			names = strings.Split(*benches, ",")
+		}
+		res, err := study.RunConvergence(names, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		return
+	}
+
+	if *ext {
+		var names []string
+		if *benches != "" {
+			names = strings.Split(*benches, ",")
+		}
+		res, err := study.RunExtensions(names, *scale, *extT)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		return
+	}
+
+	cfg := study.Config{Scale: *scale}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if *benches != "" {
+		for _, name := range strings.Split(*benches, ",") {
+			b := spec.ByName(strings.TrimSpace(name))
+			if b == nil {
+				fmt.Fprintf(os.Stderr, "inipstudy: unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			cfg.Benchmarks = append(cfg.Benchmarks, b)
+		}
+	}
+
+	res, err := study.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asMD != "" {
+		if err := os.WriteFile(*asMD, []byte(res.MarkdownReport()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *asMD)
+		return
+	}
+
+	want := map[string]bool{}
+	if *figSel != "all" {
+		for _, id := range strings.Split(*figSel, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var out []study.Figure
+	for _, f := range res.Figures() {
+		if len(want) == 0 || want[f.ID] {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "inipstudy: no figures match %q\n", *figSel)
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, f := range out {
+		fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
+		series := make([]textplot.Series, len(f.Series))
+		for i, s := range f.Series {
+			series[i] = textplot.Series{Label: s.Label, Y: s.Y}
+		}
+		fmt.Print(textplot.Table("T", f.X, series))
+		if *chart {
+			fmt.Print(textplot.Chart(f.X, series, 72, 18))
+		}
+		for _, n := range f.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,130 @@
+// Command profcmp is the off-line analysis tool of the paper's
+// methodology: it loads an initial-profile snapshot (INIP(T) or
+// INIP(train)) and an average-profile snapshot (AVEP), normalizes the
+// average profile to the initial profile's CFG (NAVEP), and reports the
+// accuracy measures Sd.BP, Sd.CP, Sd.LP and the range-based mismatch
+// rates.
+//
+// Usage:
+//
+//	profcmp inip.json avep.json [-detail] [-classic]
+//
+// -detail lists the per-block and per-region comparison items;
+// -classic additionally reports Wall's weight/key match and the overlap
+// percentage, the comparators the paper argues are inapplicable to
+// initial profiles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+)
+
+func main() {
+	detail := flag.Bool("detail", false, "print per-block and per-region items")
+	classic := flag.Bool("classic", false, "also report classical profile comparators")
+	characterize := flag.Bool("characterize", false, "classify mispredicted branches as systematic (phase-like) vs sampling noise")
+	topN := flag.Int("topn", 10, "top-N for the classical key/weight match")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: profcmp [-detail] [-classic] <inip.json> <avep.json>")
+		os.Exit(2)
+	}
+	inip, err := loadSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profcmp: %v\n", err)
+		os.Exit(1)
+	}
+	avep, err := loadSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profcmp: %v\n", err)
+		os.Exit(1)
+	}
+
+	summary, norm, err := core.Compare(inip, avep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profcmp: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("initial: %s/%s T=%d (%d regions)\n", inip.Program, inip.Input, inip.Threshold, len(inip.Regions))
+	fmt.Printf("average: %s/%s (%d blocks)\n", avep.Program, avep.Input, len(avep.Blocks))
+	fmt.Printf("Sd.BP       = %.4f\n", summary.SdBP)
+	fmt.Printf("BP mismatch = %.2f%%\n", summary.BPMismatch*100)
+	if summary.HasRegions {
+		fmt.Printf("Sd.CP       = %.4f  (%d non-loop regions)\n", summary.SdCP, summary.Traces)
+		fmt.Printf("Sd.LP       = %.4f  (%d loop regions)\n", summary.SdLP, summary.Loops)
+		fmt.Printf("LP mismatch = %.2f%%\n", summary.LPMismatch*100)
+	} else {
+		fmt.Println("no regions: Sd.CP / Sd.LP not applicable (unoptimized initial profile)")
+	}
+	fmt.Printf("normalization: %d duplicated blocks, %d solved frequencies, %d missing in AVEP\n",
+		norm.DuplicatedAddrs, norm.Unknowns, norm.MissingInAVEP)
+
+	if *detail {
+		fmt.Println("\nper-block items (addr/copy: predicted vs average, weight):")
+		blocks := norm.Blocks
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].W > blocks[j].W })
+		for _, b := range blocks {
+			marker := ""
+			if metrics.BPBucket(b.BT) != metrics.BPBucket(b.BM) {
+				marker = "  MISMATCH"
+			}
+			fmt.Printf("  block %6d copy %4d  BT=%.3f BM=%.3f W=%.0f%s\n", b.Addr, b.CopyID, b.BT, b.BM, b.W, marker)
+		}
+		for _, r := range norm.Traces {
+			fmt.Printf("  trace region %d: CT=%.3f CM=%.3f W=%.0f\n", r.Region.ID, r.CT, r.CM, r.W)
+		}
+		for _, r := range norm.Loops {
+			marker := ""
+			if metrics.LPBucket(r.LT) != metrics.LPBucket(r.LM) {
+				marker = "  CLASS MISMATCH"
+			}
+			fmt.Printf("  loop region %d: LT=%.3f LM=%.3f (trips %.1f vs %.1f) W=%.0f%s\n",
+				r.Region.ID, r.LT, r.LM, metrics.TripCount(r.LT), metrics.TripCount(r.LM), r.W, marker)
+		}
+	}
+
+	if *characterize {
+		t := inip.Threshold
+		if t == 0 {
+			t = 1
+		}
+		fmt.Println()
+		fmt.Print(core.Characterize(norm, t).Render(20))
+	}
+
+	if *classic {
+		pred := make(map[int]float64, len(inip.Blocks))
+		act := make(map[int]float64, len(avep.Blocks))
+		for addr, b := range inip.Blocks {
+			pred[addr] = float64(b.Use)
+		}
+		for _, r := range inip.Regions {
+			for i := range r.Blocks {
+				pred[r.Blocks[i].Addr] += float64(r.Blocks[i].Use)
+			}
+		}
+		for addr, b := range avep.Blocks {
+			act[addr] = float64(b.Use)
+		}
+		fmt.Println("\nclassical comparators (unreliable for INIP: all frozen counts sit in [T,2T]):")
+		fmt.Printf("  key match (top %d)    = %.3f\n", *topN, metrics.KeyMatch(pred, act, *topN))
+		fmt.Printf("  weight match (top %d) = %.3f\n", *topN, metrics.WeightMatch(pred, act, *topN))
+		fmt.Printf("  overlap percentage     = %.3f\n", metrics.OverlapPercentage(pred, act))
+	}
+}
+
+func loadSnapshot(path string) (*profile.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return profile.LoadSnapshot(f)
+}

@@ -1,0 +1,135 @@
+// Command sgasm assembles, disassembles and inspects SG32 guest images.
+//
+// Usage:
+//
+//	sgasm prog.s -o prog.sg32        assemble source to a binary image
+//	sgasm -d prog.sg32               disassemble an image
+//	sgasm -cfg prog.sg32             print basic blocks and natural loops
+//	sgasm -gen mcf -o mcf.sg32       emit a synthetic benchmark image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/guest"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file for assembled/generated images")
+		disasm   = flag.Bool("d", false, "disassemble an SG32 image")
+		showCFG  = flag.Bool("cfg", false, "print the static CFG of an SG32 image")
+		genBench = flag.String("gen", "", "generate a synthetic benchmark image")
+		genInput = flag.String("input", "ref", "input for -gen: ref or train")
+		genScale = flag.Float64("scale", 1.0, "scale for -gen")
+	)
+	flag.Parse()
+
+	if *genBench != "" {
+		b := spec.ByName(*genBench)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *genBench))
+		}
+		img, _, err := b.Build(*genInput, *genScale)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			fatal(fmt.Errorf("-gen requires -o"))
+		}
+		writeImage(img, *out)
+		fmt.Printf("wrote %s: %d instructions, %d data words\n", *out, len(img.Code), img.DataWords)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sgasm [-d|-cfg] <file> | sgasm <src.s> -o <img> | sgasm -gen <bench> -o <img>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	switch {
+	case *disasm || *showCFG:
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := guest.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *disasm {
+			fmt.Printf("; %s: entry %d, %d instructions, %d data words\n", img.Name, img.Entry, len(img.Code), img.DataWords)
+			fmt.Print(img.Disassemble())
+		}
+		if *showCFG {
+			printCFG(img)
+		}
+	default:
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := guest.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			fatal(fmt.Errorf("assembling requires -o"))
+		}
+		writeImage(img, *out)
+		fmt.Printf("wrote %s: %d instructions\n", *out, len(img.Code))
+	}
+}
+
+func printCFG(img *guest.Image) {
+	g, err := cfg.Build(img)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("entry: %d\n", g.Entry)
+	for _, s := range g.Starts() {
+		b := g.Blocks[s]
+		name := ""
+		if sym, ok := img.SymbolAt(s); ok {
+			name = " <" + sym + ">"
+		}
+		fmt.Printf("block %4d..%-4d%s -> %v\n", b.Start, b.End, name, b.Succs)
+	}
+	loops := g.NaturalLoops()
+	for _, l := range loops {
+		body := make([]int, 0, len(l.Body))
+		for s := range l.Body {
+			body = append(body, s)
+		}
+		sort.Ints(body)
+		fmt.Printf("loop head %d body %v\n", l.Head, body)
+	}
+	if len(loops) == 0 {
+		fmt.Println("no natural loops")
+	}
+}
+
+func writeImage(img *guest.Image, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := img.Save(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sgasm: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Phases: why a single profiling phase can mispredict a program.
+//
+// This example builds an Mcf-shaped program whose dominant branch flips
+// its bias after an initial phase, then sweeps the retranslation
+// threshold. Small thresholds freeze the profile inside the first phase
+// and mispredict the run's average behaviour; only thresholds whose
+// freeze window [T, 2T] reaches past the phase boundary predict well —
+// the effect behind the Mcf curves in Figures 9 and 16 of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/guest"
+	"repro/internal/interp"
+)
+
+// program returns an asm program of `iters` iterations whose branch
+// takes with p=0.95 for the first `boundary` iterations and p=0.10
+// afterwards.
+func program(iters, boundary int) string {
+	return `
+.entry main
+main:
+	loadi r0, 0
+	loadi r14, 0
+	loadi r7, 7782      ; early bias: p = 0.95
+	loadi r8, 819       ; late bias:  p = 0.10
+	loadi r9, ` + strconv.Itoa(boundary) + `
+	loadi r10, ` + strconv.Itoa(iters) + `
+loop:
+	blt r14, r9, early
+	mov r6, r8
+	jmp body
+early:
+	mov r6, r7
+body:
+	in r1
+	blt r1, r6, taken
+	addi r2, r2, 1
+	jmp next
+taken:
+	addi r3, r3, 1
+next:
+	addi r14, r14, 1
+	blt r14, r10, loop
+	halt
+`
+}
+
+func main() {
+	const (
+		iters    = 400000
+		boundary = 20000 // the phase change
+	)
+	img, err := guest.Assemble(program(iters, boundary))
+	if err != nil {
+		log.Fatal(err)
+	}
+	img.Name = "phases"
+
+	avep, _, err := dbt.Run(img, interp.NewUniformTape("phases/ref"), dbt.Config{Optimize: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("phase boundary at iteration %d of %d; average taken probability ~ %.2f\n\n",
+		boundary, iters, 0.95*float64(boundary)/iters+0.10*(1-float64(boundary)/iters))
+	fmt.Printf("%-12s %-10s %-12s %s\n", "threshold", "Sd.BP", "mismatch", "window vs boundary")
+	for _, threshold := range []uint64{100, 1000, 5000, 10000, 20000, 50000} {
+		img2, err := guest.Assemble(program(iters, boundary))
+		if err != nil {
+			log.Fatal(err)
+		}
+		img2.Name = "phases"
+		inip, _, err := dbt.Run(img2, interp.NewUniformTape("phases/ref"), dbt.Config{
+			Optimize: true, Threshold: threshold, RegisterTwice: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		summary, _, err := core.Compare(inip, avep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var where string
+		switch {
+		case 2*threshold <= boundary:
+			where = "inside the early phase: mispredicts"
+		case threshold >= 2*boundary:
+			where = "late samples dominate the counters"
+		default:
+			where = "straddles the boundary (counters still carry the early phase)"
+		}
+		fmt.Printf("%-12d %-10.4f %-12s %s\n",
+			threshold, summary.SdBP,
+			fmt.Sprintf("%.1f%%", summary.BPMismatch*100), where)
+	}
+	fmt.Println("\n" + strings.TrimSpace(`
+The initial profile is only representative when its freeze window
+[T, 2T] samples the behaviour the program will actually exhibit; a
+phase change after the window invalidates it (paper, sections 4.1/4.3).
+`))
+}

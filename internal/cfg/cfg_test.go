@@ -1,0 +1,292 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/guest"
+	"repro/internal/spec"
+)
+
+func mustAssemble(t *testing.T, src string) *guest.Image {
+	t.Helper()
+	img, err := guest.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return img
+}
+
+const loopSrc = `
+.entry main
+main:
+	loadi r1, 10
+	loadi r2, 0
+loop:
+	addi r1, r1, -1
+	bne r1, r2, loop
+	halt
+`
+
+func TestBuildBlocks(t *testing.T) {
+	img := mustAssemble(t, loopSrc)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := img.Symbols["loop"]
+	if g.Blocks[g.Entry] == nil {
+		t.Fatal("entry block missing")
+	}
+	// The entry block must stop at the 'loop' leader even though no
+	// terminator precedes it (the label is a branch target).
+	if g.Blocks[g.Entry].End >= loop {
+		t.Fatalf("entry block [%d..%d] swallows the loop leader %d", g.Entry, g.Blocks[g.Entry].End, loop)
+	}
+	lb := g.Blocks[loop]
+	if lb == nil {
+		t.Fatal("loop block missing")
+	}
+	// Loop block: succ = itself and the halt block.
+	if len(lb.Succs) != 2 {
+		t.Fatalf("loop succs = %v", lb.Succs)
+	}
+	foundSelf := false
+	for _, s := range lb.Succs {
+		if s == loop {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Fatalf("loop block lacks its back edge: %v", lb.Succs)
+	}
+}
+
+func TestPredsInverseOfSuccs(t *testing.T) {
+	img := mustAssemble(t, loopSrc)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, b := range g.Blocks {
+		for _, succ := range b.Succs {
+			found := false
+			for _, p := range g.Preds[succ] {
+				if p == s {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not mirrored in Preds", s, succ)
+			}
+		}
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	img := mustAssemble(t, loopSrc)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatalf("rpo = %v", rpo)
+	}
+	// Every reachable block appears exactly once.
+	seen := map[int]bool{}
+	for _, s := range rpo {
+		if seen[s] {
+			t.Fatalf("rpo repeats %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDominatorsOnDiamond(t *testing.T) {
+	img := mustAssemble(t, `
+.entry main
+main:
+	loadi r1, 1
+	beq r1, r0, left
+	nop
+	jmp join
+left:
+	nop
+	jmp join
+join:
+	halt
+`)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idom := g.Dominators()
+	join := img.Symbols["join"]
+	left := img.Symbols["left"]
+	if idom[join] != g.Entry {
+		t.Fatalf("idom(join) = %d, want entry %d", idom[join], g.Entry)
+	}
+	if !Dominates(idom, g.Entry, left) {
+		t.Fatal("entry must dominate left arm")
+	}
+	if Dominates(idom, left, join) {
+		t.Fatal("left arm must not dominate join")
+	}
+}
+
+func TestNaturalLoopsFindLoop(t *testing.T) {
+	img := mustAssemble(t, loopSrc)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %+v, want 1", loops)
+	}
+	if loops[0].Head != img.Symbols["loop"] {
+		t.Fatalf("loop head = %d, want %d", loops[0].Head, img.Symbols["loop"])
+	}
+	if !loops[0].Body[loops[0].Head] {
+		t.Fatal("loop body must contain its head")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	img := mustAssemble(t, `
+.entry main
+main:
+	loadi r1, 10
+	loadi r2, 0
+outer:
+	loadi r3, 5
+inner:
+	addi r3, r3, -1
+	bne r3, r2, inner
+	addi r1, r1, -1
+	bne r1, r2, outer
+	halt
+`)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %+v, want 2 (outer and inner)", loops)
+	}
+	inner := img.Symbols["inner"]
+	outer := img.Symbols["outer"]
+	var innerLoop, outerLoop *Loop
+	for i := range loops {
+		switch loops[i].Head {
+		case inner:
+			innerLoop = &loops[i]
+		case outer:
+			outerLoop = &loops[i]
+		}
+	}
+	if innerLoop == nil || outerLoop == nil {
+		t.Fatalf("loop heads = %+v", loops)
+	}
+	// The outer loop body contains the inner loop head.
+	if !outerLoop.Body[inner] {
+		t.Fatal("outer loop body must contain the inner loop")
+	}
+	if innerLoop.Body[outer] {
+		t.Fatal("inner loop body must not contain the outer head")
+	}
+}
+
+func TestIndirectJumpSuccessors(t *testing.T) {
+	img := mustAssemble(t, `
+.entry main
+main:
+	loadi r1, 4
+	jr r1, [a, b]
+a:
+	halt
+b:
+	halt
+`)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the jr block.
+	var jrBlock *Block
+	for _, b := range g.Blocks {
+		if b.Term.Op.IsIndirect() {
+			jrBlock = b
+		}
+	}
+	if jrBlock == nil {
+		t.Fatal("no jr block")
+	}
+	if len(jrBlock.Succs) != 2 {
+		t.Fatalf("jr succs = %v, want both table targets", jrBlock.Succs)
+	}
+}
+
+// TestDynamicBlocksAreStaticSuffixes cross-checks the translator's
+// dynamic discovery against the static decomposition: every dynamic
+// block entry must be a static leader or a former block split point,
+// and its terminator must coincide with a static terminator.
+func TestDynamicBlocksAreStaticConsistent(t *testing.T) {
+	b := spec.ByName("vortex")
+	img, tape, err := b.Build("ref", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	termAt := map[int]bool{}
+	for _, blk := range g.Blocks {
+		termAt[blk.End] = true
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr, blk := range snap.Blocks {
+		if !termAt[blk.End] {
+			t.Fatalf("dynamic block [%d..%d] ends at a non-terminator", addr, blk.End)
+		}
+	}
+}
+
+func TestStartsSorted(t *testing.T) {
+	img := mustAssemble(t, loopSrc)
+	g, err := Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := g.Starts()
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatalf("starts not ascending: %v", starts)
+		}
+	}
+}
+
+func TestWholeSuiteBuildsCFGs(t *testing.T) {
+	for _, b := range spec.Suite() {
+		img, _, err := b.Build("ref", 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Build(img)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(g.ReversePostorder()) < 5 {
+			t.Fatalf("%s: suspiciously small reachable CFG", b.Name)
+		}
+		if len(g.NaturalLoops()) == 0 {
+			t.Fatalf("%s: no natural loops (driver loop must exist)", b.Name)
+		}
+	}
+}

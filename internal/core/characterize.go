@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/navep"
+)
+
+// MispredictKind classifies why an initial-profile branch prediction
+// disagrees with the average profile (the paper's first future-work
+// item: "characterize the mis-predicted branches ... so that branches
+// that cannot be predicted accurately by the initial profile may be
+// selected for continuous profiling").
+type MispredictKind int
+
+const (
+	// MispredictSampling marks deviations explicable by the sampling
+	// noise of a T-sized window: a longer profile would fix them.
+	MispredictSampling MispredictKind = iota
+	// MispredictSystematic marks deviations beyond sampling noise: the
+	// branch behaves differently early than on average (phase-like),
+	// so no fixed window fixes it — it is a candidate for continuous
+	// profiling.
+	MispredictSystematic
+)
+
+// String returns "sampling" or "systematic".
+func (k MispredictKind) String() string {
+	if k == MispredictSystematic {
+		return "systematic"
+	}
+	return "sampling"
+}
+
+// Mispredict is one branch whose predicted bucket differs from its
+// average bucket, with the noise analysis behind its classification.
+type Mispredict struct {
+	Addr   int
+	CopyID int
+	BT, BM float64
+	W      float64
+	// Sigma is the standard error of a T-sample estimate of BM.
+	Sigma float64
+	// Zscore is |BT-BM| / Sigma.
+	Zscore float64
+	Kind   MispredictKind
+}
+
+// Characterization summarizes the misprediction analysis of one
+// INIP(T)-vs-AVEP comparison.
+type Characterization struct {
+	T uint64
+	// Mispredicts lists every bucket-mismatching branch, heaviest
+	// first.
+	Mispredicts []Mispredict
+	// SystematicWeight and SamplingWeight split the total mismatched
+	// weight by cause.
+	SystematicWeight float64
+	SamplingWeight   float64
+	// TotalWeight is the weight of all compared branches.
+	TotalWeight float64
+}
+
+// Characterize classifies the mispredicted branches of a normalized
+// comparison. T is the retranslation threshold of the initial profile
+// (the sample size behind each frozen estimate; counters freeze with
+// use in [T, 2T], so T is the conservative window size).
+//
+// A branch counts as mispredicted when its predicted and average
+// probabilities fall in different optimizer buckets. It is systematic
+// when the deviation exceeds three standard errors of a T-sample
+// binomial estimate — sampling alone would almost never produce it.
+func Characterize(norm *navep.Result, t uint64) *Characterization {
+	if t < 1 {
+		t = 1
+	}
+	out := &Characterization{T: t}
+	for _, b := range norm.Blocks {
+		out.TotalWeight += b.W
+		if metrics.BPBucket(b.BT) == metrics.BPBucket(b.BM) {
+			continue
+		}
+		sigma := math.Sqrt(b.BM * (1 - b.BM) / float64(t))
+		const minSigma = 1e-9
+		if sigma < minSigma {
+			sigma = minSigma
+		}
+		m := Mispredict{
+			Addr: b.Addr, CopyID: b.CopyID,
+			BT: b.BT, BM: b.BM, W: b.W,
+			Sigma:  sigma,
+			Zscore: math.Abs(b.BT-b.BM) / sigma,
+		}
+		if m.Zscore > 3 {
+			m.Kind = MispredictSystematic
+			out.SystematicWeight += b.W
+		} else {
+			m.Kind = MispredictSampling
+			out.SamplingWeight += b.W
+		}
+		out.Mispredicts = append(out.Mispredicts, m)
+	}
+	sort.Slice(out.Mispredicts, func(i, j int) bool {
+		if out.Mispredicts[i].W != out.Mispredicts[j].W {
+			return out.Mispredicts[i].W > out.Mispredicts[j].W
+		}
+		return out.Mispredicts[i].Addr < out.Mispredicts[j].Addr
+	})
+	return out
+}
+
+// Render formats the characterization as text.
+func (c *Characterization) Render(maxRows int) string {
+	var b strings.Builder
+	total := c.SystematicWeight + c.SamplingWeight
+	fmt.Fprintf(&b, "mispredicted branches at T=%d: %d instances, %.1f%% of branch weight\n",
+		c.T, len(c.Mispredicts), 100*total/math.Max(c.TotalWeight, 1))
+	if total > 0 {
+		fmt.Fprintf(&b, "  systematic (phase-like, needs continuous profiling): %.1f%%\n",
+			100*c.SystematicWeight/total)
+		fmt.Fprintf(&b, "  sampling (a longer window would fix it):             %.1f%%\n",
+			100*c.SamplingWeight/total)
+	}
+	rows := len(c.Mispredicts)
+	if maxRows > 0 && rows > maxRows {
+		rows = maxRows
+	}
+	for _, m := range c.Mispredicts[:rows] {
+		fmt.Fprintf(&b, "  block %6d copy %4d  BT=%.3f BM=%.3f W=%.0f  z=%.1f  %s\n",
+			m.Addr, m.CopyID, m.BT, m.BM, m.W, m.Zscore, m.Kind)
+	}
+	if rows < len(c.Mispredicts) {
+		fmt.Fprintf(&b, "  ... %d more\n", len(c.Mispredicts)-rows)
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+// Package core ties the translator, the normalizer and the metrics into
+// the paper's experiment pipeline: run a benchmark three ways — INIP(T)
+// with a retranslation threshold, AVEP with optimization disabled, and
+// INIP(train) on the training input — normalize the average profile to
+// each initial profile's CFG, and compute the accuracy measures
+// (Sd.BP/CP/LP and the range-based mismatch rates) that the paper's
+// Figures 8-18 report.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dbt"
+	"repro/internal/guest"
+	"repro/internal/interp"
+	"repro/internal/metrics"
+	"repro/internal/navep"
+	"repro/internal/perfmodel"
+	"repro/internal/profile"
+	"repro/internal/region"
+)
+
+// Target is a program under study: a builder that produces the guest
+// image and input tape for a named input ("ref" or "train"). Builders
+// may bake input-dependent parameters into the image's data segment —
+// the code layout must not depend on the input, so that block addresses
+// line up across profiles (as they do for real binaries).
+type Target struct {
+	Name  string
+	Build func(input string) (*guest.Image, interp.Tape, error)
+}
+
+// Compare evaluates an initial profile against an average profile and
+// returns the paper's summary measures together with the normalized
+// view. The avep snapshot must come from an unoptimized run.
+func Compare(inip, avep *profile.Snapshot) (metrics.Summary, *navep.Result, error) {
+	res, err := navep.Normalize(inip, avep)
+	if err != nil {
+		return metrics.Summary{}, nil, err
+	}
+	bp := make([]metrics.Item, 0, len(res.Blocks))
+	for _, b := range res.Blocks {
+		bp = append(bp, metrics.Item{Pred: b.BT, Avg: b.BM, W: b.W})
+	}
+	cp := make([]metrics.Item, 0, len(res.Traces))
+	for _, r := range res.Traces {
+		cp = append(cp, metrics.Item{Pred: r.CT, Avg: r.CM, W: r.W})
+	}
+	lp := make([]metrics.Item, 0, len(res.Loops))
+	for _, r := range res.Loops {
+		lp = append(lp, metrics.Item{Pred: r.LT, Avg: r.LM, W: r.W})
+	}
+	s := metrics.Summary{
+		SdBP:       metrics.WeightedSD(bp),
+		BPMismatch: metrics.MismatchRate(bp, metrics.BPBucket),
+		HasRegions: len(inip.Regions) > 0,
+		SdCP:       metrics.WeightedSD(cp),
+		SdLP:       metrics.WeightedSD(lp),
+		LPMismatch: metrics.MismatchRate(lp, metrics.LPBucket),
+		Blocks:     len(bp),
+		Traces:     len(cp),
+		Loops:      len(lp),
+	}
+	return s, res, nil
+}
+
+// Options configures a benchmark study run.
+type Options struct {
+	// Thresholds is the ladder of retranslation thresholds to sweep.
+	Thresholds []uint64
+	// PoolTrigger passes through to the translator (default 8).
+	PoolTrigger int
+	// Perf enables the cycle model on every run; PerfParams overrides
+	// its coefficients (zero value = defaults).
+	Perf       bool
+	PerfParams perfmodel.Params
+	// MaxBlockExecs is the per-run safety budget (0 = none).
+	MaxBlockExecs uint64
+	// DisableFreeze and RegisterTwice pass through to the translator;
+	// RegisterTwice defaults to on.
+	DisableFreeze   bool
+	NoRegisterTwice bool
+	// KeepSnapshots retains the per-threshold INIP snapshots in the
+	// result (memory-heavy; used by the offline tools).
+	KeepSnapshots bool
+}
+
+// ThresholdResult is the outcome of one INIP(T) run compared to AVEP.
+type ThresholdResult struct {
+	T            uint64
+	Summary      metrics.Summary
+	Normalized   *navep.Result
+	ProfilingOps uint64
+	Cycles       float64
+	Stats        dbt.RunStats
+	Snapshot     *profile.Snapshot // nil unless Options.KeepSnapshots
+}
+
+// BenchmarkResult is the complete study output for one benchmark.
+type BenchmarkResult struct {
+	Name string
+	// AVEP is the average profile of the reference input.
+	AVEP *profile.Snapshot
+	// AVEPCycles is the cycle cost of running unoptimized forever.
+	AVEPCycles float64
+	// Train compares INIP(train) to AVEP (blocks only, as in the
+	// paper: unoptimized runs carry no regions).
+	Train metrics.Summary
+	// TrainRegions compares INIP(train) to AVEP after forming regions
+	// offline over the training profile (the paper's section-5 future
+	// work, which makes Sd.CP(train) and Sd.LP(train) computable).
+	// Regions are formed at the reference threshold of 2000.
+	TrainRegions metrics.Summary
+	// TrainOps is the profiling-operation total of the training run,
+	// the normalization base of Figure 18.
+	TrainOps uint64
+	// Results holds one entry per threshold, in ladder order.
+	Results []ThresholdResult
+}
+
+func (o *Options) dbtConfig(input string, threshold uint64, optimize bool) dbt.Config {
+	cfg := dbt.Config{
+		Input:         input,
+		Threshold:     threshold,
+		Optimize:      optimize,
+		PoolTrigger:   o.PoolTrigger,
+		RegisterTwice: !o.NoRegisterTwice,
+		DisableFreeze: o.DisableFreeze,
+		MaxBlockExecs: o.MaxBlockExecs,
+	}
+	if o.Perf {
+		params := o.PerfParams
+		if params == (perfmodel.Params{}) {
+			params = perfmodel.DefaultParams()
+		}
+		cfg.Perf = perfmodel.NewAccumulator(params)
+	}
+	return cfg
+}
+
+// RunBenchmark executes the full three-way study for one target: AVEP
+// and INIP(train) once, then INIP(T) for every threshold in the ladder.
+func RunBenchmark(t Target, opts Options) (*BenchmarkResult, error) {
+	if t.Build == nil {
+		return nil, fmt.Errorf("core: target %q has no builder", t.Name)
+	}
+	out := &BenchmarkResult{Name: t.Name}
+
+	// AVEP: reference input, optimization off.
+	img, tape, err := t.Build("ref")
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s/ref: %w", t.Name, err)
+	}
+	cfg := opts.dbtConfig("ref", 0, false)
+	avep, _, err := dbt.Run(img, tape, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: AVEP run of %s: %w", t.Name, err)
+	}
+	out.AVEP = avep
+	if cfg.Perf != nil {
+		out.AVEPCycles = cfg.Perf.Cycles
+	}
+
+	// INIP(train): training input, optimization off.
+	img, tape, err = t.Build("train")
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s/train: %w", t.Name, err)
+	}
+	train, _, err := dbt.Run(img, tape, opts.dbtConfig("train", 0, false))
+	if err != nil {
+		return nil, fmt.Errorf("core: train run of %s: %w", t.Name, err)
+	}
+	out.TrainOps = train.ProfilingOps
+	if out.Train, _, err = Compare(train, avep); err != nil {
+		return nil, fmt.Errorf("core: train comparison of %s: %w", t.Name, err)
+	}
+	// Offline region formation over the training profile: the paper's
+	// proposed extension for obtaining Sd.CP(train) and Sd.LP(train).
+	const trainRegionThreshold = 2000
+	trainWithRegions := region.WithOfflineRegions(train, trainRegionThreshold, region.Config{})
+	if out.TrainRegions, _, err = Compare(trainWithRegions, avep); err != nil {
+		return nil, fmt.Errorf("core: train region comparison of %s: %w", t.Name, err)
+	}
+
+	// INIP(T) ladder.
+	for _, threshold := range opts.Thresholds {
+		img, tape, err = t.Build("ref")
+		if err != nil {
+			return nil, fmt.Errorf("core: build %s/ref: %w", t.Name, err)
+		}
+		cfg := opts.dbtConfig("ref", threshold, true)
+		snap, stats, err := dbt.Run(img, tape, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: INIP(%d) run of %s: %w", threshold, t.Name, err)
+		}
+		summary, norm, err := Compare(snap, avep)
+		if err != nil {
+			return nil, fmt.Errorf("core: INIP(%d) comparison of %s: %w", threshold, t.Name, err)
+		}
+		tr := ThresholdResult{
+			T:            threshold,
+			Summary:      summary,
+			Normalized:   norm,
+			ProfilingOps: snap.ProfilingOps,
+			Stats:        *stats,
+		}
+		if cfg.Perf != nil {
+			tr.Cycles = cfg.Perf.Cycles
+		}
+		if opts.KeepSnapshots {
+			tr.Snapshot = snap
+		}
+		out.Results = append(out.Results, tr)
+	}
+	return out, nil
+}
+
+// BuildFromAsm is a convenience Target builder for fixed assembler
+// programs whose behaviour differs between inputs only through the tape
+// seed.
+func BuildFromAsm(name, src string) Target {
+	return Target{
+		Name: name,
+		Build: func(input string) (*guest.Image, interp.Tape, error) {
+			img, err := guest.Assemble(src)
+			if err != nil {
+				return nil, nil, err
+			}
+			img.Name = name
+			return img, interp.NewUniformTape(name + "/" + input), nil
+		},
+	}
+}

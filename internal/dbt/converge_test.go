@@ -1,0 +1,99 @@
+package dbt
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// TestConvergeRegistersStableBranchEarly: on a stationary, strongly
+// biased program, convergence mode freezes hot blocks well before the
+// fixed-threshold cap, saving profiling work at similar accuracy.
+func TestConvergeRegistersStableBranchEarly(t *testing.T) {
+	img := buildLooper(t, 100000, 7372) // stationary p = 0.9
+	const cap = 50000
+
+	fixed, _, err := Run(img, interp.NewUniformTape("looper/ref"), Config{
+		Optimize: true, Threshold: cap, RegisterTwice: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, convStats, err := Run(img, interp.NewUniformTape("looper/ref"), Config{
+		Optimize: true, Threshold: cap, RegisterTwice: true,
+		ConvergeRegister: true, ConvergeEpsilon: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if convStats.OptimizationWaves == 0 {
+		t.Fatal("convergence mode never optimized")
+	}
+	if conv.ProfilingOps*2 > fixed.ProfilingOps {
+		t.Fatalf("convergence ops %d not well below fixed-cap ops %d", conv.ProfilingOps, fixed.ProfilingOps)
+	}
+	// Frozen estimates still accurate: the hot loop branch froze with
+	// p within epsilon-ish of 0.9.
+	found := false
+	for _, r := range conv.Regions {
+		for i := range r.Blocks {
+			rb := &r.Blocks[i]
+			if rb.HasBranch && rb.Use >= 32 {
+				p := rb.BranchProb()
+				if p > 0.85 && p < 0.95 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no converged region block carries the expected probability")
+	}
+}
+
+// TestConvergeKeepsNoisyBranchProfiling: a 50/50 branch needs far more
+// samples to converge than a 95/5 branch at the same epsilon.
+func TestConvergeKeepsNoisyBranchProfiling(t *testing.T) {
+	run := func(bias int32) uint64 {
+		img := buildLooper(t, 200000, bias)
+		snap, _, err := Run(img, interp.NewUniformTape("looper/ref"), Config{
+			Optimize: true, Threshold: 1 << 40, // cap never reached
+			RegisterTwice:    true,
+			ConvergeRegister: true, ConvergeEpsilon: 0.015,
+			PoolTrigger: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.ProfilingOps
+	}
+	// The biased branch converges after ~800 samples and stops costing
+	// profiling work; the 50/50 branch cannot converge before the
+	// (unreachable) cap, so it keeps paying counter updates all run.
+	biased := run(7782) // p = 0.95: sigma shrinks fast
+	noisy := run(4096)  // p = 0.50: needs ~4300 samples at eps 0.015
+	if noisy <= biased*2 {
+		t.Fatalf("noisy ops %d not well above biased ops %d: convergence should spend more on noise", noisy, biased)
+	}
+}
+
+// TestConvergeCapStillApplies: the fixed threshold remains the upper
+// bound on profiling in convergence mode.
+func TestConvergeCapStillApplies(t *testing.T) {
+	img := buildLooper(t, 50000, 4096) // 50/50, hard to converge
+	const cap = 200
+	snap, _, err := Run(img, interp.NewUniformTape("looper/ref"), Config{
+		Optimize: true, Threshold: cap, RegisterTwice: true,
+		ConvergeRegister: true, ConvergeEpsilon: 0.001, // unreachable
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range snap.Regions {
+		for i := range r.Blocks {
+			if r.Blocks[i].Use > 2*cap {
+				t.Fatalf("block frozen at use %d beyond the 2x cap %d", r.Blocks[i].Use, 2*cap)
+			}
+		}
+	}
+}

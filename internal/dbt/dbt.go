@@ -1,0 +1,679 @@
+// Package dbt implements the two-phase dynamic binary translator whose
+// profiling behaviour the paper studies.
+//
+// The engine mirrors the IA32EL structure described in the paper's
+// introduction:
+//
+//   - Phase 1 (profiling): each guest block is quickly translated the
+//     first time control reaches it and instrumented to collect a "use"
+//     count (visits) and a "taken" count (conditional branch taken).
+//
+//   - When a block's use count reaches the retranslation threshold T it
+//     is registered in a pool of candidate blocks. When the pool holds
+//     enough blocks — or when a block is registered twice, i.e. its use
+//     count reaches 2T while it is still unoptimized — the optimization
+//     phase runs.
+//
+//   - Phase 2 (optimization): candidate blocks are grouped into trace
+//     and loop regions using the taken/use ratios as branch
+//     probabilities (see package region). Optimized blocks stop
+//     profiling: their counters freeze, which is why all blocks of an
+//     INIP(T) snapshot carry use counts in [T, 2T).
+//
+// Running with Optimize=false yields the paper's AVEP / INIP(train)
+// profiles: no regions form and every counter runs to program end.
+package dbt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/guest"
+	"repro/internal/interp"
+	"repro/internal/isa"
+	"repro/internal/perfmodel"
+	"repro/internal/profile"
+	"repro/internal/region"
+)
+
+// Config controls one translator run.
+type Config struct {
+	// Input names the input tape for the snapshot ("ref", "train").
+	Input string
+	// Threshold is the retranslation threshold T. It must be >= 1 when
+	// Optimize is set.
+	Threshold uint64
+	// Optimize enables the optimization phase. When false the run
+	// produces an average (AVEP-style) profile.
+	Optimize bool
+	// PoolTrigger is the candidate-pool size that triggers an
+	// optimization wave (default 8).
+	PoolTrigger int
+	// RegisterTwice enables the paper's second trigger: a block whose
+	// use count reaches 2T while still unoptimized starts a wave
+	// immediately (default on; the ablation bench turns it off).
+	RegisterTwice bool
+	// DisableFreeze keeps profiling counters running after a block is
+	// optimized. The paper's IA32EL freezes them; the ablation bench
+	// uses this switch to isolate the effect.
+	DisableFreeze bool
+	// Region overrides the region former configuration; the zero value
+	// selects region.DefaultConfig(Threshold).
+	Region region.Config
+	// Perf, when non-nil, accumulates the simulated cycle cost of the
+	// run.
+	Perf *perfmodel.Accumulator
+	// MaxBlockExecs aborts the run after this many dynamic block
+	// executions (0 = unlimited). The synthetic benchmarks halt on
+	// their own; this is a safety net.
+	MaxBlockExecs uint64
+
+	// Adaptive enables the paper's section-5 proposal of monitoring
+	// region side exits: a region whose side-exit rate exceeds
+	// AdaptiveSideExitRate (after at least AdaptiveMinEntries entries)
+	// is dissolved, its blocks resume profiling with fresh counters,
+	// and they may re-register and be re-optimized with phase-current
+	// probabilities.
+	Adaptive             bool
+	AdaptiveSideExitRate float64 // default 0.6
+	AdaptiveMinEntries   uint64  // default 64
+
+	// ContinuousTripCount keeps lightweight loop-back instrumentation
+	// alive inside optimized loop regions (the paper's reference [21]):
+	// snapshot loop regions then carry a continuously-updated loop-back
+	// probability alongside their frozen counters.
+	ContinuousTripCount bool
+
+	// ConvergeRegister implements the paper's section-5 call for
+	// threshold-selection heuristics: instead of registering a block
+	// after exactly Threshold visits, register it as soon as its branch
+	// probability estimate has converged — the 95% confidence interval
+	// half-width 1.96*sqrt(p(1-p)/n) drops below ConvergeEpsilon — with
+	// Threshold acting as the cap for branches that refuse to converge.
+	// Stable branches freeze early (cheap), noisy ones profile longer,
+	// up to the cap. Convergence is checked every convergeCheckEvery
+	// visits once ConvergeMinUse samples have accumulated.
+	ConvergeRegister bool
+	ConvergeEpsilon  float64 // default 0.02
+	ConvergeMinUse   uint64  // default 32
+}
+
+// convergeCheckEvery bounds how often the convergence test (a sqrt) runs
+// per block.
+const convergeCheckEvery = 32
+
+// tblock is a translated block in the code cache.
+type tblock struct {
+	addr int
+	end  int
+	// insts is the decoded body including the terminator.
+	insts []isa.Inst
+	// term classifies the terminator for the region former.
+	term        region.TermKind
+	takenTarget int
+	fallTarget  int
+	hasBranch   bool
+	costSum     int // sum of guest instruction costs, for the perf model
+
+	use    uint64
+	taken  uint64
+	frozen bool
+	// registrations counts how many times the block entered the
+	// candidate pool.
+	registrations int
+	// regionEntry points at the runtime info of the region this block
+	// is the entry of, if any.
+	regionEntry *regionRT
+}
+
+// regionRT is the execution-time view of an optimized region.
+type regionRT struct {
+	r    *profile.Region
+	byID map[int]*profile.RegionBlock
+	last int // ID of the final block (trace completion target)
+
+	// Per-region execution statistics, used by the adaptive mode and
+	// by continuous trip-count profiling.
+	entries     uint64
+	loopBacks   uint64
+	sideExits   uint64
+	completions uint64
+	dissolved   bool
+}
+
+// continuousLP is the continuously-collected loop-back probability: of
+// all visits to the loop head, the fraction that came back around.
+func (rt *regionRT) continuousLP() (float64, bool) {
+	visits := rt.loopBacks + rt.sideExits + rt.completions
+	if rt.r.Kind != profile.RegionLoop || visits == 0 {
+		return 0, false
+	}
+	return float64(rt.loopBacks) / float64(visits), true
+}
+
+// RunStats reports what happened during a run, beyond the profile
+// snapshot itself.
+type RunStats struct {
+	BlocksExecuted    uint64
+	Instructions      uint64
+	BlocksTranslated  int
+	OptimizationWaves int
+	RegionsFormed     int
+	RegionEntries     uint64
+	RegionCompletions uint64
+	RegionLoopBacks   uint64
+	RegionSideExits   uint64
+	// RegionsDissolved counts regions torn down by the adaptive mode.
+	RegionsDissolved int
+	Cycles           float64
+}
+
+// Engine is a two-phase DBT instance bound to one guest image and tape.
+type Engine struct {
+	cfg Config
+	img *guest.Image
+	st  *interp.State
+	// cache is indexed by block entry address (dense: code segments are
+	// small and block starts are code addresses), keeping the per-block
+	// dispatch off the map path.
+	cache  []*tblock
+	pool   []int
+	inPool map[int]bool
+	former *region.Former
+
+	regions []*profile.Region
+	rts     map[*profile.Region]*regionRT
+	stats   RunStats
+	profOps uint64
+
+	// region execution cursor
+	curRegion *regionRT
+	curCopy   *profile.RegionBlock
+}
+
+// New prepares an engine. The image is validated; the tape supplies
+// guest input.
+func New(img *guest.Image, tape interp.Tape, cfg Config) (*Engine, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Optimize && cfg.Threshold == 0 {
+		return nil, fmt.Errorf("dbt: Optimize requires Threshold >= 1")
+	}
+	if cfg.PoolTrigger <= 0 {
+		cfg.PoolTrigger = 8
+	}
+	rcfg := cfg.Region
+	if rcfg == (region.Config{}) {
+		rcfg = region.DefaultConfig(cfg.Threshold)
+		if cfg.ConvergeRegister {
+			// Blocks may freeze long before the cap; gate region
+			// membership on the convergence floor instead.
+			rcfg.MinUse = cfg.ConvergeMinUse
+			if rcfg.MinUse == 0 {
+				rcfg.MinUse = 32
+			}
+		}
+	}
+	return &Engine{
+		cfg:    cfg,
+		img:    img,
+		st:     interp.NewState(img, tape),
+		cache:  make([]*tblock, len(img.Code)),
+		inPool: make(map[int]bool),
+		former: region.NewFormer(rcfg),
+		rts:    make(map[*profile.Region]*regionRT),
+	}, nil
+}
+
+// State exposes the guest architectural state, letting tests
+// cross-validate the translator against the reference interpreter.
+func (e *Engine) State() *interp.State { return e.st }
+
+// lookup returns the cached block at addr, or nil.
+func (e *Engine) lookup(addr int) *tblock {
+	if addr < 0 || addr >= len(e.cache) {
+		return nil
+	}
+	return e.cache[addr]
+}
+
+// Info implements region.Provider over the code cache.
+func (e *Engine) Info(addr int) (region.BlockInfo, bool) {
+	tb := e.lookup(addr)
+	if tb == nil {
+		return region.BlockInfo{}, false
+	}
+	// In convergence mode regions may only absorb blocks whose
+	// estimates have stabilized: an unconverged probability would bake
+	// noise into the region.
+	if e.cfg.ConvergeRegister && tb.registrations == 0 && !tb.frozen {
+		return region.BlockInfo{}, false
+	}
+	return region.BlockInfo{
+		Addr:        tb.addr,
+		End:         tb.end,
+		Use:         tb.use,
+		Taken:       tb.taken,
+		Term:        tb.term,
+		TakenTarget: tb.takenTarget,
+		FallTarget:  tb.fallTarget,
+	}, true
+}
+
+// maxBlockLen caps a single translated block; synthetic blocks are far
+// shorter, so hitting the cap indicates a malformed image.
+const maxBlockLen = 4096
+
+// translate decodes the block starting at addr into the cache.
+func (e *Engine) translate(addr int) (*tblock, error) {
+	tb := &tblock{addr: addr, takenTarget: -1, fallTarget: -1}
+	pc := addr
+	for {
+		if pc < 0 || pc >= len(e.img.Code) {
+			return nil, fmt.Errorf("dbt: block at %d runs off the code segment", addr)
+		}
+		in, err := isa.Decode(e.img.Code[pc])
+		if err != nil {
+			return nil, fmt.Errorf("dbt: translating block at %d: %w", addr, err)
+		}
+		tb.insts = append(tb.insts, in)
+		tb.costSum += in.Op.Cost()
+		if in.Op.EndsBlock() {
+			tb.end = pc
+			switch {
+			case in.Op.IsCondBranch():
+				tb.term = region.TermBranch
+				tb.hasBranch = true
+				tb.takenTarget = pc + int(in.Imm)
+				tb.fallTarget = pc + 1
+			case in.Op == isa.OpJmp:
+				tb.term = region.TermJump
+				tb.takenTarget = pc + int(in.Imm)
+			case in.Op == isa.OpCall:
+				tb.term = region.TermOther
+				tb.takenTarget = pc + int(in.Imm)
+				tb.fallTarget = pc + 1
+			default: // jr, ret, halt
+				tb.term = region.TermOther
+			}
+			break
+		}
+		if len(tb.insts) >= maxBlockLen {
+			return nil, fmt.Errorf("dbt: block at %d exceeds %d instructions", addr, maxBlockLen)
+		}
+		pc++
+	}
+	e.cache[addr] = tb
+	e.stats.BlocksTranslated++
+	if e.cfg.Perf != nil {
+		e.cfg.Perf.ChargeTranslate(len(tb.insts))
+	}
+	return tb, nil
+}
+
+// shouldRegister decides whether the block's profile is ready for the
+// candidate pool: at multiples of the fixed threshold, or — in
+// convergence mode — as soon as the branch probability estimate has
+// stabilized.
+func (e *Engine) shouldRegister(tb *tblock) bool {
+	if tb.use >= e.cfg.Threshold && tb.use%e.cfg.Threshold == 0 {
+		return true
+	}
+	if !e.cfg.ConvergeRegister {
+		return false
+	}
+	if tb.registrations > 0 {
+		// Already in the pool: re-register occasionally so a stalled
+		// pool (fewer candidates than the trigger) still flushes via
+		// the register-twice rule instead of profiling to program end.
+		return tb.use%1024 == 0
+	}
+	minUse := e.cfg.ConvergeMinUse
+	if minUse == 0 {
+		minUse = 32
+	}
+	if tb.use < minUse || tb.use%convergeCheckEvery != 0 {
+		return false
+	}
+	if !tb.hasBranch {
+		// Nothing to converge: a non-branch block is ready once it has
+		// shown it is warm.
+		return true
+	}
+	eps := e.cfg.ConvergeEpsilon
+	if eps <= 0 {
+		eps = 0.02
+	}
+	p := float64(tb.taken) / float64(tb.use)
+	half := 1.96 * math.Sqrt(p*(1-p)/float64(tb.use))
+	return half < eps
+}
+
+// register adds a block to the candidate pool and reports whether an
+// optimization wave should start.
+func (e *Engine) register(tb *tblock) bool {
+	tb.registrations++
+	if tb.registrations >= 2 && e.cfg.RegisterTwice {
+		return true
+	}
+	if !e.inPool[tb.addr] {
+		e.inPool[tb.addr] = true
+		e.pool = append(e.pool, tb.addr)
+	}
+	return len(e.pool) >= e.cfg.PoolTrigger
+}
+
+// optimize runs one optimization wave over the current candidate pool.
+func (e *Engine) optimize() {
+	e.stats.OptimizationWaves++
+	formed := e.former.Form(e, e.pool)
+	for _, r := range formed {
+		rt := &regionRT{r: r, byID: make(map[int]*profile.RegionBlock, len(r.Blocks))}
+		instTotal := 0
+		for i := range r.Blocks {
+			rb := &r.Blocks[i]
+			rt.byID[rb.ID] = rb
+			if tb := e.lookup(rb.Addr); tb != nil {
+				instTotal += len(tb.insts)
+			}
+		}
+		rt.last = r.Blocks[len(r.Blocks)-1].ID
+		e.rts[r] = rt
+		entryAddr := r.EntryBlock().Addr
+		if tb := e.lookup(entryAddr); tb != nil && tb.regionEntry == nil {
+			tb.regionEntry = rt
+		}
+		if e.cfg.Perf != nil {
+			e.cfg.Perf.ChargeOptimize(instTotal)
+		}
+		e.regions = append(e.regions, r)
+	}
+	e.stats.RegionsFormed += len(formed)
+	// Every candidate was retranslated by this wave, so profiling stops
+	// for all of them (frozen counters), not only for region members.
+	if !e.cfg.DisableFreeze {
+		for _, addr := range e.pool {
+			if tb := e.lookup(addr); tb != nil {
+				tb.frozen = true
+			}
+		}
+		// Region members that were absorbed without being candidates
+		// freeze too: they were rebuilt into region code.
+		for _, r := range formed {
+			for i := range r.Blocks {
+				if tb := e.lookup(r.Blocks[i].Addr); tb != nil {
+					tb.frozen = true
+				}
+			}
+		}
+	}
+	e.pool = e.pool[:0]
+	for addr := range e.inPool {
+		delete(e.inPool, addr)
+	}
+}
+
+// trackRegion advances the region execution cursor given that the block
+// at tb was just executed and control moves to nextPC (takenEdge tells
+// which terminator edge fired). It also feeds the perf model's side-exit
+// accounting.
+func (e *Engine) trackRegion(tb *tblock, takenEdge bool) {
+	if e.curRegion != nil {
+		rb := e.curCopy
+		if rb == nil || rb.Addr != tb.addr {
+			// The cursor went stale (should not happen); treat as exit.
+			e.leaveRegion(false)
+		} else {
+			var nextID int
+			if takenEdge {
+				nextID = rb.TakenNext
+			} else {
+				nextID = rb.FallNext
+			}
+			switch {
+			case nextID == -1:
+				completed := e.curRegion.r.Kind == profile.RegionTrace && rb.ID == e.curRegion.last
+				e.leaveRegion(completed)
+			case nextID == e.curRegion.r.Entry:
+				e.stats.RegionLoopBacks++
+				e.curRegion.loopBacks++
+				e.curCopy = e.curRegion.byID[nextID]
+				return
+			default:
+				e.curCopy = e.curRegion.byID[nextID]
+				return
+			}
+		}
+	}
+}
+
+// leaveRegion closes out the current region execution and, in adaptive
+// mode, dissolves regions whose side-exit rate shows the profile they
+// were built from no longer describes the program.
+func (e *Engine) leaveRegion(completed bool) {
+	rt := e.curRegion
+	if completed {
+		e.stats.RegionCompletions++
+		rt.completions++
+	} else {
+		e.stats.RegionSideExits++
+		rt.sideExits++
+		if e.cfg.Perf != nil {
+			e.cfg.Perf.ChargeSideExit()
+		}
+	}
+	e.curRegion = nil
+	e.curCopy = nil
+	if e.cfg.Adaptive && !completed {
+		e.maybeDissolve(rt)
+	}
+}
+
+// maybeDissolve tears a misbehaving region down: its blocks lose their
+// frozen counters and resume profiling from scratch, so a later
+// optimization wave rebuilds regions from phase-current behaviour.
+func (e *Engine) maybeDissolve(rt *regionRT) {
+	if rt.dissolved {
+		return
+	}
+	minEntries := e.cfg.AdaptiveMinEntries
+	if minEntries == 0 {
+		minEntries = 64
+	}
+	rate := e.cfg.AdaptiveSideExitRate
+	if rate <= 0 {
+		rate = 0.6
+	}
+	// For loop regions a side exit per entry is normal (the loop must
+	// end); judge them by iterations per entry instead: a healthy loop
+	// loops back far more often than it exits.
+	var misbehaving bool
+	if rt.r.Kind == profile.RegionLoop {
+		visits := rt.loopBacks + rt.sideExits
+		misbehaving = visits >= minEntries && float64(rt.sideExits)/float64(visits) > rate
+	} else {
+		total := rt.completions + rt.sideExits
+		misbehaving = total >= minEntries && float64(rt.sideExits)/float64(total) > rate
+	}
+	if !misbehaving {
+		return
+	}
+	rt.dissolved = true
+	e.stats.RegionsDissolved++
+	for i := range rt.r.Blocks {
+		addr := rt.r.Blocks[i].Addr
+		tb := e.lookup(addr)
+		if tb == nil {
+			continue
+		}
+		if tb.regionEntry == rt {
+			tb.regionEntry = nil
+		}
+		// Fresh profile: the block re-enters the profiling phase as if
+		// newly translated, so its next freeze reflects the current
+		// phase.
+		tb.frozen = false
+		tb.use = 0
+		tb.taken = 0
+		tb.registrations = 0
+		e.former.Unplace(addr)
+	}
+	// Drop the dissolved region from the run's output.
+	for i, r := range e.regions {
+		if r == rt.r {
+			e.regions = append(e.regions[:i], e.regions[i+1:]...)
+			break
+		}
+	}
+}
+
+// Run executes the guest to completion and returns the profile snapshot
+// and run statistics.
+func (e *Engine) Run() (*profile.Snapshot, *RunStats, error) {
+	pc := e.img.Entry
+	for {
+		tb := e.lookup(pc)
+		if tb == nil {
+			var err error
+			tb, err = e.translate(pc)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		e.stats.BlocksExecuted++
+		if e.cfg.MaxBlockExecs > 0 && e.stats.BlocksExecuted > e.cfg.MaxBlockExecs {
+			return nil, nil, fmt.Errorf("dbt: block execution budget %d exhausted", e.cfg.MaxBlockExecs)
+		}
+
+		// Execute the block body through the shared semantic core.
+		var (
+			nextPC int
+			halted bool
+			err    error
+		)
+		base := tb.addr
+		for i, in := range tb.insts {
+			nextPC, halted, err = interp.Exec(e.st, base+i, in)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		e.stats.Instructions += uint64(len(tb.insts))
+
+		takenEdge := tb.hasBranch && nextPC == tb.takenTarget
+		if !tb.hasBranch {
+			takenEdge = true // unconditional transfers use the taken edge
+		}
+
+		// Profiling phase instrumentation.
+		if !tb.frozen {
+			tb.use++
+			e.profOps++
+			if tb.hasBranch && takenEdge {
+				tb.taken++
+				e.profOps++
+			}
+			if e.cfg.Optimize {
+				if e.shouldRegister(tb) {
+					if e.register(tb) {
+						e.optimize()
+					}
+				}
+			}
+		}
+
+		// Perf accounting and region tracking. A frozen block executes
+		// at full optimized speed only when control is following one of
+		// its regions' expected paths (the cursor is on it); frozen
+		// code reached outside a region context was retranslated for a
+		// different path and gets no scheduling benefit.
+		if e.cfg.Perf != nil {
+			switch {
+			case tb.frozen && e.curCopy != nil && e.curCopy.Addr == tb.addr:
+				e.cfg.Perf.ChargeOptimizedBlock(tb.costSum)
+			case tb.frozen:
+				e.cfg.Perf.ChargeOffTraceBlock(tb.costSum)
+			default:
+				e.cfg.Perf.ChargeQuickBlock(tb.costSum)
+			}
+		}
+		if e.cfg.Optimize {
+			e.trackRegion(tb, takenEdge)
+			// If control is about to arrive at a region entry while no
+			// region is active, open it.
+			if next := e.lookup(nextPC); next != nil && e.curRegion == nil && next.regionEntry != nil {
+				e.curRegion = next.regionEntry
+				e.curRegion.entries++
+				e.curCopy = next.regionEntry.r.EntryBlock()
+				e.stats.RegionEntries++
+			}
+		}
+
+		if halted {
+			break
+		}
+		pc = nextPC
+	}
+	snap := e.snapshot()
+	if e.cfg.Perf != nil {
+		e.stats.Cycles = e.cfg.Perf.Cycles
+		snap.Cycles = uint64(e.cfg.Perf.Cycles)
+	}
+	stats := e.stats
+	return snap, &stats, nil
+}
+
+// snapshot builds the INIP/AVEP profile of the finished run.
+func (e *Engine) snapshot() *profile.Snapshot {
+	input := e.cfg.Input
+	if input == "" {
+		input = "ref"
+	}
+	snap := profile.NewSnapshot(e.img.Name, input, e.cfg.Threshold, e.cfg.Optimize)
+	if !e.cfg.Optimize {
+		snap.Threshold = 0
+	}
+	for addr, tb := range e.cache {
+		if tb == nil {
+			continue // address was never a block entry
+		}
+		if e.former.Placed(addr) {
+			continue // reported inside a region with frozen counters
+		}
+		snap.Blocks[addr] = &profile.Block{
+			Addr:        tb.addr,
+			End:         tb.end,
+			Use:         tb.use,
+			Taken:       tb.taken,
+			HasBranch:   tb.hasBranch,
+			TakenTarget: tb.takenTarget,
+			FallTarget:  tb.fallTarget,
+		}
+	}
+	snap.Regions = e.regions
+	if e.cfg.ContinuousTripCount {
+		for _, r := range snap.Regions {
+			if rt := e.rts[r]; rt != nil {
+				if lp, ok := rt.continuousLP(); ok {
+					r.ContinuousLP = lp
+					r.HasContinuousLP = true
+				}
+			}
+		}
+	}
+	snap.ProfilingOps = e.profOps
+	snap.BlocksExecuted = e.stats.BlocksExecuted
+	snap.Instructions = e.stats.Instructions
+	return snap
+}
+
+// Run is a convenience wrapper: build an engine, run it, return the
+// snapshot and stats.
+func Run(img *guest.Image, tape interp.Tape, cfg Config) (*profile.Snapshot, *RunStats, error) {
+	e, err := New(img, tape, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Run()
+}

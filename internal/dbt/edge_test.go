@@ -1,0 +1,76 @@
+package dbt
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+func TestEngineFaultsOnJrToInvalidTarget(t *testing.T) {
+	// jr through a register holding an out-of-range address must surface
+	// as an error, not a crash or silent wrap.
+	img, err := guest.Assemble(`
+.entry main
+main:
+	loadi r1, 2
+	jr r1, [a]
+a:
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch r1's constant beyond the code segment.
+	in, err := img.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Imm = 8000
+	img.Code[0] = isa.Encode(in)
+	if _, _, err := Run(img, interp.NewSliceTape(nil), Config{Optimize: false}); err == nil {
+		t.Fatal("jr to invalid target did not fault")
+	}
+}
+
+func TestEngineFaultsOnGuestMemoryViolation(t *testing.T) {
+	img, err := guest.Assemble(`
+.entry main
+.data 2
+main:
+	loadi r1, 100
+	store r1, 0(r1)
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(img, interp.NewSliceTape(nil), Config{Optimize: false}); err == nil {
+		t.Fatal("store out of bounds did not fault")
+	}
+}
+
+func TestZeroLengthProgramRejected(t *testing.T) {
+	img := &guest.Image{Name: "empty"}
+	if _, err := New(img, interp.NewSliceTape(nil), Config{}); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestProfilingOpsMatchCounterSemantics(t *testing.T) {
+	// ProfilingOps must equal the sum of all use counts plus all taken
+	// counts for an unoptimized run (each counter update is one op).
+	img := buildLooper(t, 5000, 6144)
+	snap, _, err := Run(img, interp.NewUniformTape("looper/ref"), Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, b := range snap.Blocks {
+		want += b.Use + b.Taken
+	}
+	if snap.ProfilingOps != want {
+		t.Fatalf("ProfilingOps = %d, counters sum to %d", snap.ProfilingOps, want)
+	}
+}

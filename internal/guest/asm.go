@@ -1,0 +1,324 @@
+package guest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses SG32 assembler text into an Image.
+//
+// Syntax, one item per line (';' starts a comment):
+//
+//	.name prog            program name
+//	.data 64              reserve data words
+//	.entry main           entry label
+//	main:                 bind a label
+//	loadi r1, 10          instructions in the syntax printed by
+//	add r1, r2, r3        isa.Inst.String, with control-transfer
+//	bne r1, r2, loop      immediates written as label names
+//	jr r4, [a, b]         indirect jump with its target set
+//	load r1, 8(r2)        memory operands as offset(base)
+func Assemble(src string) (*Image, error) {
+	b := NewBuilder("asm")
+	labels := make(map[string]Label)
+	getLabel := func(name string) Label {
+		if l, ok := labels[name]; ok {
+			return l
+		}
+		l := b.NewLabel(name)
+		labels[name] = l
+		return l
+	}
+	var entryName string
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("guest: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, ".name "):
+			b.name = strings.TrimSpace(line[len(".name "):])
+			continue
+		case strings.HasPrefix(line, ".data "):
+			n, err := strconv.Atoi(strings.TrimSpace(line[len(".data "):]))
+			if err != nil || n < 0 {
+				return nil, fail("bad .data directive %q", line)
+			}
+			b.ReserveData(n)
+			continue
+		case strings.HasPrefix(line, ".entry "):
+			entryName = strings.TrimSpace(line[len(".entry "):])
+			continue
+		case strings.HasSuffix(line, ":"):
+			name := strings.TrimSuffix(line, ":")
+			l := getLabel(name)
+			b.Bind(l)
+			continue
+		}
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		op, ok := isa.OpByName(mnemonic)
+		if !ok {
+			return nil, fail("unknown mnemonic %q", mnemonic)
+		}
+		args := splitArgs(rest)
+		if err := emitParsed(b, op, args, getLabel); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if entryName != "" {
+		l, ok := labels[entryName]
+		if !ok {
+			return nil, fmt.Errorf("guest: entry label %q not defined", entryName)
+		}
+		b.SetEntry(l)
+	}
+	return b.Build()
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	// Re-join bracketed jump-table lists that contain commas.
+	var out []string
+	depth := 0
+	cur := ""
+	for _, p := range parts {
+		if cur != "" {
+			cur += ","
+		}
+		cur += p
+		depth += strings.Count(p, "[") - strings.Count(p, "]")
+		if depth == 0 {
+			out = append(out, strings.TrimSpace(cur))
+			cur = ""
+		}
+	}
+	if cur != "" {
+		out = append(out, strings.TrimSpace(cur))
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(n), nil
+}
+
+// parseMem parses "offset(rN)" into offset and base register.
+func parseMem(s string) (int32, uint8, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off, err := parseImm(s[:open])
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func emitParsed(b *Builder, op isa.Op, args []string, getLabel func(string) Label) error {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%v expects %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case isa.OpNop, isa.OpHalt, isa.OpRet:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op})
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpFadd, isa.OpFmul, isa.OpFdiv:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rt, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt})
+	case isa.OpAddi:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		if imm < isa.MinImm || imm > isa.MaxImm {
+			return fmt.Errorf("addi immediate %d exceeds 14-bit range", imm)
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Imm: imm})
+	case isa.OpLoadi, isa.OpLuhi:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		if op == isa.OpLoadi {
+			// Wide constants expand to the loadi/luhi sequence.
+			b.LoadImm(rd, imm)
+			return nil
+		}
+		if imm < isa.MinImm || imm > isa.MaxImm {
+			return fmt.Errorf("luhi immediate %d exceeds 14-bit range", imm)
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Imm: imm})
+	case isa.OpMov:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs: rs})
+	case isa.OpLoad:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs: base, Imm: off})
+	case isa.OpStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rt: rt, Rs: base, Imm: off})
+	case isa.OpIn:
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd})
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Branch(op, rs, rt, getLabel(args[2]))
+	case isa.OpJmp:
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jump(getLabel(args[0]))
+	case isa.OpCall:
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Call(getLabel(args[0]))
+	case isa.OpJr:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		list := strings.TrimSpace(args[1])
+		if !strings.HasPrefix(list, "[") || !strings.HasSuffix(list, "]") {
+			return fmt.Errorf("jr needs a [label, ...] target list, got %q", list)
+		}
+		var targets []Label
+		for _, name := range strings.Split(list[1:len(list)-1], ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			targets = append(targets, getLabel(name))
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("jr with empty target list")
+		}
+		b.JumpIndirect(rs, targets...)
+	default:
+		return fmt.Errorf("unhandled opcode %v", op)
+	}
+	return nil
+}

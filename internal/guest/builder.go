@@ -1,0 +1,250 @@
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Label identifies a code position that may be referenced before it is
+// bound. Labels are created by a Builder and are only meaningful for the
+// Builder that created them.
+type Label int
+
+// Builder assembles an Image incrementally with forward references.
+// All control-transfer immediates are expressed as labels and patched at
+// Build time.
+type Builder struct {
+	name      string
+	code      []uint32
+	labels    []int // label -> address, -1 while unbound
+	labelName []string
+	fixups    []fixup
+	symbols   map[string]int
+	jumps     map[int][]Label // jr pc -> possible target labels
+	dataWords int
+	initData  []uint32
+	entry     Label
+	hasEntry  bool
+}
+
+type fixup struct {
+	pc    int   // instruction to patch
+	label Label // target
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, symbols: make(map[string]int), jumps: make(map[int][]Label)}
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.code) }
+
+// NewLabel creates a fresh unbound label. The name is used only in error
+// messages and the symbol table.
+func (b *Builder) NewLabel(name string) Label {
+	b.labels = append(b.labels, -1)
+	b.labelName = append(b.labelName, name)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind attaches the label to the current PC. A label may be bound once.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		panic(fmt.Sprintf("guest: label %q bound twice", b.labelName[l]))
+	}
+	b.labels[l] = len(b.code)
+	if b.labelName[l] != "" {
+		b.symbols[b.labelName[l]] = len(b.code)
+	}
+}
+
+// Here creates a label bound at the current PC.
+func (b *Builder) Here(name string) Label {
+	l := b.NewLabel(name)
+	b.Bind(l)
+	return l
+}
+
+// SetEntry marks the label as the program entry point.
+func (b *Builder) SetEntry(l Label) {
+	b.entry = l
+	b.hasEntry = true
+}
+
+// ReserveData ensures the image provides at least n words of data memory.
+func (b *Builder) ReserveData(n int) {
+	if n > b.dataWords {
+		b.dataWords = n
+	}
+}
+
+// SetInitData sets the initial contents of low data memory.
+func (b *Builder) SetInitData(words []uint32) {
+	b.initData = append([]uint32(nil), words...)
+	b.ReserveData(len(words))
+}
+
+// Emit appends a non-control instruction (or one whose immediate needs no
+// patching) and returns its address.
+func (b *Builder) Emit(in isa.Inst) int {
+	pc := len(b.code)
+	b.code = append(b.code, isa.Encode(in))
+	return pc
+}
+
+// Branch emits a conditional branch to the label.
+func (b *Builder) Branch(op isa.Op, rs, rt uint8, target Label) int {
+	if !op.IsCondBranch() {
+		panic(fmt.Sprintf("guest: Branch with non-branch opcode %v", op))
+	}
+	pc := b.Emit(isa.Inst{Op: op, Rs: rs, Rt: rt})
+	b.fixups = append(b.fixups, fixup{pc: pc, label: target})
+	return pc
+}
+
+// Jump emits an unconditional jump to the label.
+func (b *Builder) Jump(target Label) int {
+	pc := b.Emit(isa.Inst{Op: isa.OpJmp})
+	b.fixups = append(b.fixups, fixup{pc: pc, label: target})
+	return pc
+}
+
+// Call emits a call to the label.
+func (b *Builder) Call(target Label) int {
+	pc := b.Emit(isa.Inst{Op: isa.OpCall})
+	b.fixups = append(b.fixups, fixup{pc: pc, label: target})
+	return pc
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() int { return b.Emit(isa.Inst{Op: isa.OpRet}) }
+
+// JumpIndirect emits a jr through register rs that may reach any of the
+// given labels; the set is recorded in the image's jump tables.
+func (b *Builder) JumpIndirect(rs uint8, targets ...Label) int {
+	pc := b.Emit(isa.Inst{Op: isa.OpJr, Rs: rs})
+	b.jumps[pc] = append([]Label(nil), targets...)
+	return pc
+}
+
+// Convenience emitters for common instruction shapes. They keep workload
+// generators terse without hiding the underlying encoding.
+
+// LoadImm emits instructions setting rd to the given 32-bit constant,
+// using loadi (and luhi when the value does not fit in 14 signed bits).
+// It returns the address of the first emitted instruction.
+func (b *Builder) LoadImm(rd uint8, v int32) int {
+	if v >= isa.MinImm && v <= isa.MaxImm {
+		return b.Emit(isa.Inst{Op: isa.OpLoadi, Rd: rd, Imm: v})
+	}
+	// Wide constants are assembled from three 13-bit chunks, highest
+	// first: loadi installs bits 31..26 (a non-negative 6-bit chunk),
+	// then each luhi shifts the register left 13 and ors in the next
+	// chunk: v = c2<<26 | c1<<13 | c0.
+	u := uint32(v)
+	c2 := int32(u >> 26)
+	c1 := int32(u >> 13 & 0x1FFF)
+	c0 := int32(u & 0x1FFF)
+	pc := b.Emit(isa.Inst{Op: isa.OpLoadi, Rd: rd, Imm: c2})
+	b.Emit(isa.Inst{Op: isa.OpLuhi, Rd: rd, Imm: c1})
+	b.Emit(isa.Inst{Op: isa.OpLuhi, Rd: rd, Imm: c0})
+	return pc
+}
+
+// Addi emits rd = rs + imm.
+func (b *Builder) Addi(rd, rs uint8, imm int32) int {
+	return b.Emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// In emits rd = next input word.
+func (b *Builder) In(rd uint8) int { return b.Emit(isa.Inst{Op: isa.OpIn, Rd: rd}) }
+
+// Nops emits n filler ALU instructions that consume cycles without
+// changing control flow, simulating a block body of the given size.
+// A mix of opcodes keeps the per-block cost model non-degenerate.
+func (b *Builder) Nops(n int) {
+	mix := []isa.Inst{
+		{Op: isa.OpAdd, Rd: 13, Rs: 13, Rt: 12},
+		{Op: isa.OpXor, Rd: 12, Rs: 12, Rt: 13},
+		{Op: isa.OpShl, Rd: 13, Rs: 13, Rt: 12},
+		{Op: isa.OpOr, Rd: 12, Rs: 12, Rt: 13},
+	}
+	for i := 0; i < n; i++ {
+		b.Emit(mix[i%len(mix)])
+	}
+}
+
+// FloatNops emits n floating-point filler instructions.
+func (b *Builder) FloatNops(n int) {
+	mix := []isa.Inst{
+		{Op: isa.OpFadd, Rd: 13, Rs: 13, Rt: 12},
+		{Op: isa.OpFmul, Rd: 12, Rs: 12, Rt: 13},
+	}
+	for i := 0; i < n; i++ {
+		b.Emit(mix[i%len(mix)])
+	}
+}
+
+// Build patches all fixups and returns the validated image.
+func (b *Builder) Build() (*Image, error) {
+	for _, f := range b.fixups {
+		addr := b.labels[f.label]
+		if addr == -1 {
+			return nil, fmt.Errorf("guest: unbound label %q referenced at %d", b.labelName[f.label], f.pc)
+		}
+		in, err := isa.Decode(b.code[f.pc])
+		if err != nil {
+			return nil, fmt.Errorf("guest: fixup at %d: %w", f.pc, err)
+		}
+		off := addr - f.pc
+		if off < isa.MinImm || off > isa.MaxImm {
+			return nil, fmt.Errorf("guest: branch at %d to %q: offset %d exceeds 14-bit range", f.pc, b.labelName[f.label], off)
+		}
+		in.Imm = int32(off)
+		b.code[f.pc] = isa.Encode(in)
+	}
+	entry := 0
+	if b.hasEntry {
+		entry = b.labels[b.entry]
+		if entry == -1 {
+			return nil, fmt.Errorf("guest: entry label %q never bound", b.labelName[b.entry])
+		}
+	}
+	jt := make(map[int][]int, len(b.jumps))
+	for pc, labels := range b.jumps {
+		targets := make([]int, 0, len(labels))
+		for _, l := range labels {
+			addr := b.labels[l]
+			if addr == -1 {
+				return nil, fmt.Errorf("guest: jump table at %d references unbound label %q", pc, b.labelName[l])
+			}
+			targets = append(targets, addr)
+		}
+		jt[pc] = targets
+	}
+	img := &Image{
+		Name:       b.name,
+		Code:       append([]uint32(nil), b.code...),
+		Entry:      entry,
+		DataWords:  b.dataWords,
+		InitData:   append([]uint32(nil), b.initData...),
+		Symbols:    b.symbols,
+		JumpTables: jt,
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// construction cannot legitimately fail.
+func (b *Builder) MustBuild() *Image {
+	img, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}

@@ -1,0 +1,101 @@
+package guest
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestImageFormatGolden pins the binary image format byte-for-byte: a
+// change that breaks previously written .sg32 files must show up here,
+// not in a user's corpus.
+func TestImageFormatGolden(t *testing.T) {
+	b := NewBuilder("g")
+	main := b.Here("m")
+	b.SetEntry(main)
+	b.Emit(isa.Inst{Op: isa.OpLoadi, Rd: 1, Imm: 7})
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	img := b.MustBuild()
+	img.DataWords = 4
+	img.InitData = []uint32{0xdeadbeef}
+
+	var buf bytes.Buffer
+	if err := img.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "53473332010000000000000004000000020000000700402c0000000401000000efbeadde01000000010000006d00000000000000000100000067"
+	got := hex.EncodeToString(buf.Bytes())
+	if got != golden {
+		t.Fatalf("image format drifted:\n got  %s\n want %s", got, golden)
+	}
+	// And it still loads.
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "g" || back.InitData[0] != 0xdeadbeef {
+		t.Fatalf("golden image loads wrong: %+v", back)
+	}
+}
+
+// TestLoadTruncationsNeverPanic loads a valid image truncated at every
+// possible byte boundary: each must produce an error (or, only at full
+// length, success) and never panic.
+func TestLoadTruncationsNeverPanic(t *testing.T) {
+	b := NewBuilder("t")
+	m := b.Here("m")
+	b.SetEntry(m)
+	t1 := b.NewLabel("t1")
+	b.LoadImm(1, 3)
+	b.JumpIndirect(1, t1)
+	b.Bind(t1)
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	img := b.MustBuild()
+	img.InitData = []uint32{1, 2}
+	img.DataWords = 2
+
+	var buf bytes.Buffer
+	if err := img.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for n := 0; n < len(raw); n++ {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation at %d of %d loaded successfully", n, len(raw))
+		}
+	}
+	if _, err := Load(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("full image failed to load: %v", err)
+	}
+}
+
+// TestLoadCorruptedWordsNeverPanic flips bytes across the image: Load
+// must either reject the result or produce a validating image.
+func TestLoadCorruptedWordsNeverPanic(t *testing.T) {
+	b := NewBuilder("c")
+	m := b.Here("m")
+	b.SetEntry(m)
+	b.LoadImm(1, 3)
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	img := b.MustBuild()
+	var buf bytes.Buffer
+	if err := img.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 0; i < len(raw); i++ {
+		for _, flip := range []byte{0xFF, 0x80, 0x01} {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= flip
+			got, err := Load(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			if verr := got.Validate(); verr != nil {
+				t.Fatalf("Load accepted an image that fails Validate: byte %d flip %#x: %v", i, flip, verr)
+			}
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package guest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// buildLoop constructs a minimal counted-loop program used across tests.
+func buildLoop(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder("loop10")
+	main := b.Here("main")
+	b.SetEntry(main)
+	b.LoadImm(1, 10)
+	b.LoadImm(2, 0)
+	loop := b.Here("loop")
+	b.Addi(1, 1, -1)
+	b.Branch(isa.OpBne, 1, 2, loop)
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	img, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return img
+}
+
+func TestBuilderProducesValidImage(t *testing.T) {
+	img := buildLoop(t)
+	if err := img.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if img.Entry != 0 {
+		t.Fatalf("entry = %d, want 0", img.Entry)
+	}
+	if _, ok := img.Symbols["loop"]; !ok {
+		t.Fatal("missing symbol 'loop'")
+	}
+	// The backward branch must target the loop label.
+	brPC := img.Symbols["loop"] + 1
+	in, err := img.Decode(brPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpBne || brPC+int(in.Imm) != img.Symbols["loop"] {
+		t.Fatalf("branch at %d = %v does not target loop", brPC, in)
+	}
+}
+
+func TestBuilderUnboundLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	l := b.NewLabel("nowhere")
+	b.Jump(l)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "unbound label") {
+		t.Fatalf("Build with unbound label: err = %v", err)
+	}
+}
+
+func TestBuilderDoubleBindPanics(t *testing.T) {
+	b := NewBuilder("bad")
+	l := b.Here("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Bind did not panic")
+		}
+	}()
+	b.Bind(l)
+}
+
+func TestBuilderBranchRangeCheck(t *testing.T) {
+	b := NewBuilder("far")
+	start := b.Here("start")
+	b.SetEntry(start)
+	target := b.NewLabel("far")
+	b.Jump(target)
+	b.Nops(isa.MaxImm + 10)
+	b.Bind(target)
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "14-bit range") {
+		t.Fatalf("Build with out-of-range branch: err = %v", err)
+	}
+}
+
+func TestBuilderBranchRejectsNonBranchOp(t *testing.T) {
+	b := NewBuilder("bad")
+	l := b.Here("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Branch(OpAdd) did not panic")
+		}
+	}()
+	b.Branch(isa.OpAdd, 0, 0, l)
+}
+
+func TestLoadImmWideConstants(t *testing.T) {
+	// Verify the chunk decomposition by symbolically evaluating the
+	// emitted loadi/luhi sequence.
+	for _, v := range []int32{0, 1, -1, 42, 8191, -8192, 8192, -8193, 1 << 20, -(1 << 20), 2147483647, -2147483648} {
+		b := NewBuilder("imm")
+		e := b.Here("e")
+		b.SetEntry(e)
+		b.LoadImm(3, v)
+		b.Emit(isa.Inst{Op: isa.OpHalt})
+		img := b.MustBuild()
+		var r3 uint32
+		for pc := 0; pc < len(img.Code); pc++ {
+			in, err := img.Decode(pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch in.Op {
+			case isa.OpLoadi:
+				r3 = uint32(in.Imm)
+			case isa.OpLuhi:
+				r3 = r3<<13 | uint32(in.Imm)&0x1FFF
+			}
+		}
+		if int32(r3) != v {
+			t.Fatalf("LoadImm(%d) evaluates to %d", v, int32(r3))
+		}
+	}
+}
+
+func TestQuickLoadImm(t *testing.T) {
+	f := func(v int32) bool {
+		b := NewBuilder("imm")
+		e := b.Here("e")
+		b.SetEntry(e)
+		b.LoadImm(1, v)
+		b.Emit(isa.Inst{Op: isa.OpHalt})
+		img := b.MustBuild()
+		var r uint32
+		for pc := range img.Code {
+			in, _ := img.Decode(pc)
+			switch in.Op {
+			case isa.OpLoadi:
+				r = uint32(in.Imm)
+			case isa.OpLuhi:
+				r = r<<13 | uint32(in.Imm)&0x1FFF
+			}
+		}
+		return int32(r) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadEntry(t *testing.T) {
+	img := buildLoop(t)
+	img.Entry = len(img.Code)
+	if err := img.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range entry")
+	}
+}
+
+func TestValidateCatchesBranchOutOfCode(t *testing.T) {
+	img := buildLoop(t)
+	img.Code[len(img.Code)-1] = isa.Encode(isa.Inst{Op: isa.OpJmp, Imm: 100})
+	if err := img.Validate(); err == nil {
+		t.Fatal("Validate accepted branch target outside code")
+	}
+}
+
+func TestValidateCatchesJrWithoutTable(t *testing.T) {
+	b := NewBuilder("jr")
+	e := b.Here("e")
+	b.SetEntry(e)
+	l := b.Here("t")
+	b.JumpIndirect(1, l)
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	img := b.MustBuild()
+	img.JumpTables = nil
+	if err := img.Validate(); err == nil || !strings.Contains(err.Error(), "jump table") {
+		t.Fatalf("Validate accepted jr without table: %v", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	main := b.Here("main")
+	b.SetEntry(main)
+	b.ReserveData(128)
+	b.SetInitData([]uint32{1, 2, 3})
+	t1 := b.NewLabel("t1")
+	t2 := b.NewLabel("t2")
+	b.LoadImm(1, 5)
+	b.JumpIndirect(1, t1, t2)
+	b.Bind(t1)
+	b.Nops(3)
+	b.Bind(t2)
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	img := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := img.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Name != img.Name || got.Entry != img.Entry || got.DataWords != img.DataWords {
+		t.Fatalf("header mismatch: %+v vs %+v", got, img)
+	}
+	if len(got.Code) != len(img.Code) {
+		t.Fatalf("code length %d vs %d", len(got.Code), len(img.Code))
+	}
+	for i := range img.Code {
+		if got.Code[i] != img.Code[i] {
+			t.Fatalf("code[%d] differs", i)
+		}
+	}
+	if len(got.Symbols) != len(img.Symbols) {
+		t.Fatalf("symbols %v vs %v", got.Symbols, img.Symbols)
+	}
+	for name, addr := range img.Symbols {
+		if got.Symbols[name] != addr {
+			t.Fatalf("symbol %q: %d vs %d", name, got.Symbols[name], addr)
+		}
+	}
+	for pc, targets := range img.JumpTables {
+		gt := got.JumpTables[pc]
+		if len(gt) != len(targets) {
+			t.Fatalf("jump table at %d: %v vs %v", pc, gt, targets)
+		}
+		for i := range targets {
+			if gt[i] != targets[i] {
+				t.Fatalf("jump table at %d entry %d differs", pc, i)
+			}
+		}
+	}
+	if len(got.InitData) != 3 || got.InitData[2] != 3 {
+		t.Fatalf("init data %v", got.InitData)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("Load accepted bad magic")
+	}
+	var buf bytes.Buffer
+	img := buildLoop(t)
+	if err := img.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("Load accepted truncated image")
+	}
+}
+
+func TestDisassembleHasSymbols(t *testing.T) {
+	img := buildLoop(t)
+	text := img.Disassemble()
+	if !strings.Contains(text, "main:") || !strings.Contains(text, "loop:") {
+		t.Fatalf("disassembly missing labels:\n%s", text)
+	}
+	if !strings.Contains(text, "bne") {
+		t.Fatalf("disassembly missing branch:\n%s", text)
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := `
+; counted loop with a call and an indirect jump
+.name demo
+.data 16
+.entry main
+main:
+	loadi r1, 10
+	loadi r2, 0
+	call helper
+loop:
+	addi r1, r1, -1
+	in r5
+	store r5, 0(r2)
+	load r6, 0(r2)
+	bne r1, r2, loop
+	loadi r7, 9
+	jr r7, [end, loop]
+end:
+	halt
+helper:
+	add r3, r1, r2
+	ret
+`
+	img, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if img.Name != "demo" || img.DataWords != 16 {
+		t.Fatalf("directives not honoured: %+v", img)
+	}
+	if img.Entry != img.Symbols["main"] {
+		t.Fatalf("entry %d != main %d", img.Entry, img.Symbols["main"])
+	}
+	if err := img.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The jr must have a two-entry jump table.
+	found := false
+	for _, targets := range img.JumpTables {
+		if len(targets) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("jump tables wrong: %v", img.JumpTables)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"add r1, r2",
+		"add r1, r2, r99",
+		"addi r1, r2, xyz",
+		"load r1, r2",
+		"jr r1, loop",
+		".entry missing\nnop",
+		"beq r1, r2, undefinedlabel",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleMatchesBuilder(t *testing.T) {
+	img1 := func() *Image {
+		b := NewBuilder("x")
+		m := b.Here("m")
+		b.SetEntry(m)
+		b.Emit(isa.Inst{Op: isa.OpLoadi, Rd: 1, Imm: 3})
+		loop := b.Here("loop")
+		b.Addi(1, 1, -1)
+		b.Branch(isa.OpBne, 1, 0, loop)
+		b.Emit(isa.Inst{Op: isa.OpHalt})
+		return b.MustBuild()
+	}()
+	img2, err := Assemble(".entry m\nm:\nloadi r1, 3\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img1.Code) != len(img2.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(img1.Code), len(img2.Code))
+	}
+	for i := range img1.Code {
+		if img1.Code[i] != img2.Code[i] {
+			t.Fatalf("word %d: %#x vs %#x", i, img1.Code[i], img2.Code[i])
+		}
+	}
+}

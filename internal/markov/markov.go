@@ -1,0 +1,170 @@
+// Package markov implements the "Markov Modelling of Control Flow"
+// frequency-propagation method (Wagner et al., PLDI'94) that the paper
+// uses to recover block frequencies for duplicated blocks when the
+// average profile is normalized to the initial profile's CFG.
+//
+// The caller describes a set of nodes (block copies) and, for each,
+// exactly one of three kinds of knowledge:
+//
+//   - Pin: the node's frequency is known (a non-duplicated block whose
+//     frequency comes straight from AVEP);
+//   - Inflow: the node's frequency equals the probability-weighted sum
+//     of its incoming edges (an interior copy of a region);
+//   - Remainder: the node absorbs whatever is left of a known total
+//     after the other copies of the same original block are accounted
+//     for (a region entry whose original block was duplicated).
+//
+// Solve assembles the corresponding linear system — frequencies of
+// non-duplicated blocks as constant coefficients, duplicated-block
+// frequencies as unknowns — and solves it with the linalg package.
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+type eqKind int
+
+const (
+	eqUnset eqKind = iota
+	eqPin
+	eqInflow
+	eqRemainder
+)
+
+type node struct {
+	name  string
+	kind  eqKind
+	pin   float64
+	total float64 // remainder: group total
+	group []int   // remainder: the other nodes in the group
+}
+
+type edge struct {
+	dst, src int
+	prob     float64
+}
+
+// System is a flow-conservation system under construction.
+type System struct {
+	nodes []node
+	edges []edge
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{}
+}
+
+// AddNode registers a node and returns its index. The name is used only
+// in error messages.
+func (s *System) AddNode(name string) int {
+	s.nodes = append(s.nodes, node{name: name})
+	return len(s.nodes) - 1
+}
+
+// Len returns the number of nodes.
+func (s *System) Len() int { return len(s.nodes) }
+
+func (s *System) setKind(id int, k eqKind) error {
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("markov: node %d out of range", id)
+	}
+	if s.nodes[id].kind != eqUnset {
+		return fmt.Errorf("markov: node %q already constrained", s.nodes[id].name)
+	}
+	s.nodes[id].kind = k
+	return nil
+}
+
+// Pin fixes the node's frequency to a known value.
+func (s *System) Pin(id int, freq float64) error {
+	if err := s.setKind(id, eqPin); err != nil {
+		return err
+	}
+	s.nodes[id].pin = freq
+	return nil
+}
+
+// Inflow declares that the node's frequency is the sum of its incoming
+// AddEdge flows.
+func (s *System) Inflow(id int) error {
+	return s.setKind(id, eqInflow)
+}
+
+// Remainder declares that the node's frequency is total minus the sum of
+// the frequencies of the other nodes in its duplication group.
+func (s *System) Remainder(id int, total float64, others []int) error {
+	if err := s.setKind(id, eqRemainder); err != nil {
+		return err
+	}
+	s.nodes[id].total = total
+	s.nodes[id].group = append([]int(nil), others...)
+	return nil
+}
+
+// AddEdge records flow prob*freq(src) into dst. Edges into Pin or
+// Remainder nodes are permitted and ignored by those equations (their
+// frequency is determined by other knowledge).
+func (s *System) AddEdge(dst, src int, prob float64) error {
+	if dst < 0 || dst >= len(s.nodes) || src < 0 || src >= len(s.nodes) {
+		return fmt.Errorf("markov: edge %d<-%d out of range", dst, src)
+	}
+	if prob < 0 {
+		return fmt.Errorf("markov: negative edge probability %v", prob)
+	}
+	s.edges = append(s.edges, edge{dst: dst, src: src, prob: prob})
+	return nil
+}
+
+// Solve computes all node frequencies. Every node must have been
+// constrained with exactly one of Pin, Inflow or Remainder.
+func (s *System) Solve() ([]float64, error) {
+	n := len(s.nodes)
+	if n == 0 {
+		return nil, nil
+	}
+	a := linalg.NewSparse(n)
+	b := make([]float64, n)
+	for i, nd := range s.nodes {
+		switch nd.kind {
+		case eqPin:
+			a.Add(i, i, 1)
+			b[i] = nd.pin
+		case eqInflow:
+			a.Add(i, i, 1)
+			// Edge terms are subtracted below.
+		case eqRemainder:
+			a.Add(i, i, 1)
+			for _, j := range nd.group {
+				if j == i {
+					continue
+				}
+				a.Add(i, j, 1)
+			}
+			b[i] = nd.total
+		default:
+			return nil, fmt.Errorf("markov: node %q has no equation", nd.name)
+		}
+	}
+	for _, e := range s.edges {
+		if s.nodes[e.dst].kind != eqInflow {
+			continue
+		}
+		a.Add(e.dst, e.src, -e.prob)
+	}
+	x, err := linalg.SolveFlow(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: %w", err)
+	}
+	// Frequencies are physically non-negative; clamp the tiny negative
+	// values that the remainder approximation can produce.
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,251 @@
+package navep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func avepWith(blocks map[int][2]uint64) *profile.Snapshot {
+	// blocks maps addr -> {use, taken}; every block is branch-ending.
+	s := profile.NewSnapshot("p", "ref", 0, false)
+	for addr, ut := range blocks {
+		s.Blocks[addr] = &profile.Block{
+			Addr: addr, End: addr + 1, Use: ut[0], Taken: ut[1],
+			HasBranch: true, TakenTarget: addr + 10, FallTarget: addr + 2,
+		}
+	}
+	return s
+}
+
+func TestNormalizePlainBlocksOnly(t *testing.T) {
+	inip := profile.NewSnapshot("p", "ref", 500, true)
+	inip.Blocks[10] = &profile.Block{Addr: 10, Use: 100, Taken: 80, HasBranch: true, TakenTarget: 20, FallTarget: 12}
+	inip.Blocks[30] = &profile.Block{Addr: 30, Use: 50, HasBranch: false, TakenTarget: -1, FallTarget: -1}
+	avep := avepWith(map[int][2]uint64{10: {1000, 600}})
+
+	res, err := Normalize(inip, avep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 1 {
+		t.Fatalf("items = %+v, want 1 (non-branch blocks excluded)", res.Blocks)
+	}
+	it := res.Blocks[0]
+	if it.Addr != 10 || it.CopyID != -1 {
+		t.Fatalf("item identity wrong: %+v", it)
+	}
+	if math.Abs(it.BT-0.8) > 1e-12 || math.Abs(it.BM-0.6) > 1e-12 || it.W != 1000 {
+		t.Fatalf("item values wrong: %+v", it)
+	}
+	if len(res.Traces) != 0 || len(res.Loops) != 0 || res.Unknowns != 0 {
+		t.Fatalf("unexpected region output: %+v", res)
+	}
+}
+
+func TestNormalizeSkipsBlocksMissingInAVEP(t *testing.T) {
+	inip := profile.NewSnapshot("p", "ref", 500, true)
+	inip.Blocks[10] = &profile.Block{Addr: 10, Use: 100, Taken: 80, HasBranch: true}
+	res, err := Normalize(inip, profile.NewSnapshot("p", "ref", 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 0 || res.MissingInAVEP != 1 {
+		t.Fatalf("missing-block handling wrong: %+v", res)
+	}
+}
+
+func TestNormalizeRejectsOptimizedAVEP(t *testing.T) {
+	avep := profile.NewSnapshot("p", "ref", 0, false)
+	avep.Regions = []*profile.Region{{ID: 0, Entry: 0, Blocks: []profile.RegionBlock{{ID: 0, TakenNext: -1, FallNext: -1}}}}
+	if _, err := Normalize(profile.NewSnapshot("p", "ref", 1, true), avep); err == nil {
+		t.Fatal("Normalize accepted an optimized AVEP")
+	}
+}
+
+// loopRegion builds a two-block loop region: entry addr 30 -> member
+// addr 40 -> back to entry, with frozen probabilities 0.9 / 0.95.
+func loopRegion() *profile.Region {
+	return &profile.Region{
+		ID:    0,
+		Kind:  profile.RegionLoop,
+		Entry: 1,
+		Blocks: []profile.RegionBlock{
+			{ID: 1, Addr: 30, Use: 100, Taken: 90, HasBranch: true, TakenNext: 2, FallNext: -1, TakenTarget: 40, FallTarget: 32},
+			{ID: 2, Addr: 40, Use: 90, Taken: 85, HasBranch: true, TakenNext: 1, FallNext: -1, TakenTarget: 30, FallTarget: 42},
+		},
+	}
+}
+
+func TestNormalizeUniqueRegionBlocks(t *testing.T) {
+	inip := profile.NewSnapshot("p", "ref", 100, true)
+	inip.Regions = []*profile.Region{loopRegion()}
+	avep := avepWith(map[int][2]uint64{
+		30: {5000, 4500}, // BM = 0.9
+		40: {4500, 4050}, // BM = 0.9
+	})
+	res, err := Normalize(inip, avep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry pinned to AVEP freq; member gets inflow 5000*0.9.
+	weights := map[int]float64{}
+	for _, it := range res.Blocks {
+		weights[it.Addr] = it.W
+	}
+	if math.Abs(weights[30]-5000) > 1e-9 {
+		t.Fatalf("entry weight = %v, want 5000", weights[30])
+	}
+	if math.Abs(weights[40]-4500) > 1e-9 {
+		t.Fatalf("member weight = %v, want 4500", weights[40])
+	}
+	if len(res.Loops) != 1 {
+		t.Fatalf("loops = %+v", res.Loops)
+	}
+	li := res.Loops[0]
+	if math.Abs(li.W-5000) > 1e-9 {
+		t.Fatalf("loop weight = %v, want 5000", li.W)
+	}
+	// LT under frozen probs: 0.9 * (85/90); LM under AVEP probs:
+	// 0.9 * 0.9.
+	wantLT := 0.9 * (85.0 / 90.0)
+	if math.Abs(li.LT-wantLT) > 1e-12 {
+		t.Fatalf("LT = %v, want %v", li.LT, wantLT)
+	}
+	if math.Abs(li.LM-0.81) > 1e-12 {
+		t.Fatalf("LM = %v, want 0.81", li.LM)
+	}
+	if res.DuplicatedAddrs != 0 {
+		t.Fatalf("DuplicatedAddrs = %d, want 0", res.DuplicatedAddrs)
+	}
+}
+
+func TestNormalizeDuplicatedInteriorCopies(t *testing.T) {
+	// Two trace regions both absorb addr 30 as an interior member.
+	// r1: 20 -(taken, BM 0.5)-> 30; r2: 50 -(taken, BM 0.25)-> 30.
+	r1 := &profile.Region{
+		ID: 0, Kind: profile.RegionTrace, Entry: 1,
+		Blocks: []profile.RegionBlock{
+			{ID: 1, Addr: 20, Use: 100, Taken: 90, HasBranch: true, TakenNext: 2, FallNext: -1},
+			{ID: 2, Addr: 30, Use: 100, Taken: 50, HasBranch: true, TakenNext: -1, FallNext: -1},
+		},
+	}
+	r2 := &profile.Region{
+		ID: 1, Kind: profile.RegionTrace, Entry: 3,
+		Blocks: []profile.RegionBlock{
+			{ID: 3, Addr: 50, Use: 100, Taken: 80, HasBranch: true, TakenNext: 4, FallNext: -1},
+			{ID: 4, Addr: 30, Use: 100, Taken: 50, HasBranch: true, TakenNext: -1, FallNext: -1},
+		},
+	}
+	inip := profile.NewSnapshot("p", "ref", 100, true)
+	inip.Regions = []*profile.Region{r1, r2}
+	avep := avepWith(map[int][2]uint64{
+		20: {1000, 500},
+		50: {2000, 500},
+		30: {1200, 600},
+	})
+	res, err := Normalize(inip, avep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicatedAddrs != 1 {
+		t.Fatalf("DuplicatedAddrs = %d, want 1", res.DuplicatedAddrs)
+	}
+	// Copy weights: r1 copy = 1000*0.5 = 500; r2 copy = 2000*0.25 = 500.
+	var w1, w2 float64
+	for _, it := range res.Blocks {
+		switch it.CopyID {
+		case 2:
+			w1 = it.W
+		case 4:
+			w2 = it.W
+		}
+	}
+	if math.Abs(w1-500) > 1e-9 || math.Abs(w2-500) > 1e-9 {
+		t.Fatalf("copy weights = %v, %v; want 500, 500", w1, w2)
+	}
+	// All copies carry the AVEP branch probability of addr 30 (0.5).
+	for _, it := range res.Blocks {
+		if it.Addr == 30 && math.Abs(it.BM-0.5) > 1e-12 {
+			t.Fatalf("copy BM = %v, want AVEP 0.5", it.BM)
+		}
+	}
+}
+
+func TestNormalizeDuplicatedEntryTakesRemainder(t *testing.T) {
+	// Region 1's entry is addr 30; region 2 holds an interior copy of
+	// 30 fed with 400. The entry copy must absorb 1200-400 = 800.
+	r1 := &profile.Region{
+		ID: 0, Kind: profile.RegionTrace, Entry: 1,
+		Blocks: []profile.RegionBlock{
+			{ID: 1, Addr: 30, Use: 100, Taken: 70, HasBranch: true, TakenNext: 2, FallNext: -1},
+			{ID: 2, Addr: 60, Use: 100, Taken: 10, HasBranch: true, TakenNext: -1, FallNext: -1},
+		},
+	}
+	r2 := &profile.Region{
+		ID: 1, Kind: profile.RegionTrace, Entry: 3,
+		Blocks: []profile.RegionBlock{
+			{ID: 3, Addr: 20, Use: 100, Taken: 90, HasBranch: true, TakenNext: 4, FallNext: -1},
+			{ID: 4, Addr: 30, Use: 100, Taken: 70, HasBranch: true, TakenNext: -1, FallNext: -1},
+		},
+	}
+	inip := profile.NewSnapshot("p", "ref", 100, true)
+	inip.Regions = []*profile.Region{r1, r2}
+	avep := avepWith(map[int][2]uint64{
+		20: {1000, 400}, // BM 0.4 -> inflow into r2's copy = 400
+		30: {1200, 840},
+		60: {500, 100},
+	})
+	res, err := Normalize(inip, avep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entryW, copyW float64
+	for _, it := range res.Blocks {
+		switch it.CopyID {
+		case 1:
+			entryW = it.W
+		case 4:
+			copyW = it.W
+		}
+	}
+	if math.Abs(copyW-400) > 1e-9 {
+		t.Fatalf("interior copy weight = %v, want 400", copyW)
+	}
+	if math.Abs(entryW-800) > 1e-9 {
+		t.Fatalf("entry remainder weight = %v, want 800", entryW)
+	}
+}
+
+func TestNormalizeTraceProbabilities(t *testing.T) {
+	// Trace 10 -> 20 with frozen probs (0.9 taken) but AVEP prob 0.6:
+	// CT = 0.9, CM = 0.6.
+	r := &profile.Region{
+		ID: 0, Kind: profile.RegionTrace, Entry: 1,
+		Blocks: []profile.RegionBlock{
+			{ID: 1, Addr: 10, Use: 100, Taken: 90, HasBranch: true, TakenNext: 2, FallNext: -1},
+			{ID: 2, Addr: 20, Use: 90, Taken: 45, HasBranch: true, TakenNext: -1, FallNext: -1},
+		},
+	}
+	inip := profile.NewSnapshot("p", "ref", 100, true)
+	inip.Regions = []*profile.Region{r}
+	avep := avepWith(map[int][2]uint64{10: {1000, 600}, 20: {700, 350}})
+	res, err := Normalize(inip, avep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 1 {
+		t.Fatalf("traces = %+v", res.Traces)
+	}
+	tr := res.Traces[0]
+	if math.Abs(tr.CT-0.9) > 1e-12 {
+		t.Fatalf("CT = %v, want 0.9", tr.CT)
+	}
+	if math.Abs(tr.CM-0.6) > 1e-12 {
+		t.Fatalf("CM = %v, want 0.6", tr.CM)
+	}
+	if math.Abs(tr.W-1000) > 1e-9 {
+		t.Fatalf("trace weight = %v, want 1000", tr.W)
+	}
+}

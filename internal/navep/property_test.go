@@ -1,0 +1,154 @@
+package navep
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profile"
+	"repro/internal/rng"
+)
+
+// randomScenario builds a random but well-formed INIP/AVEP pair: a set
+// of AVEP blocks and a few linear trace regions over random subsets,
+// with AVEP frequencies and probabilities drawn from the seed.
+func randomScenario(seed uint64) (*profile.Snapshot, *profile.Snapshot) {
+	r := rng.New(seed)
+	nBlocks := 4 + r.Intn(12)
+	avep := profile.NewSnapshot("p", "ref", 0, false)
+	addrs := make([]int, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		addr := 10 * (i + 1)
+		addrs[i] = addr
+		use := uint64(100 + r.Intn(100000))
+		taken := uint64(float64(use) * r.Float64())
+		avep.Blocks[addr] = &profile.Block{
+			Addr: addr, End: addr + 1, Use: use, Taken: taken,
+			HasBranch: true, TakenTarget: addr + 10, FallTarget: addr + 2,
+		}
+	}
+	inip := profile.NewSnapshot("p", "ref", 100, true)
+	nextID := 1
+	nRegions := 1 + r.Intn(3)
+	for ri := 0; ri < nRegions; ri++ {
+		length := 2 + r.Intn(3)
+		start := r.Intn(nBlocks)
+		reg := &profile.Region{ID: ri, Kind: profile.RegionTrace}
+		for k := 0; k < length; k++ {
+			addr := addrs[(start+k)%nBlocks]
+			use := uint64(100 + r.Intn(100))
+			rb := profile.RegionBlock{
+				ID: nextID, Addr: addr,
+				Use: use, Taken: uint64(float64(use) * r.Float64()),
+				HasBranch: true,
+				TakenNext: -1, FallNext: -1,
+				TakenTarget: addr + 10, FallTarget: addr + 2,
+			}
+			nextID++
+			if k > 0 {
+				prev := &reg.Blocks[k-1]
+				if r.Bernoulli(0.5) {
+					prev.TakenNext = rb.ID
+				} else {
+					prev.FallNext = rb.ID
+				}
+			}
+			reg.Blocks = append(reg.Blocks, rb)
+		}
+		reg.Entry = reg.Blocks[0].ID
+		inip.Regions = append(inip.Regions, reg)
+	}
+	return inip, avep
+}
+
+// Property: normalization always succeeds on well-formed inputs, yields
+// non-negative weights, and never assigns a probability outside [0, 1].
+func TestQuickNormalizeWellFormed(t *testing.T) {
+	f := func(seed uint64) bool {
+		inip, avep := randomScenario(seed)
+		res, err := Normalize(inip, avep)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, b := range res.Blocks {
+			if b.W < 0 || b.BT < 0 || b.BT > 1 || b.BM < 0 || b.BM > 1 {
+				t.Logf("seed %d: bad item %+v", seed, b)
+				return false
+			}
+		}
+		for _, tr := range res.Traces {
+			if tr.CT < -1e-9 || tr.CT > 1+1e-9 || tr.CM < -1e-9 || tr.CM > 1+1e-9 {
+				t.Logf("seed %d: bad trace %+v", seed, tr)
+				return false
+			}
+			if tr.W < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for an address whose copies include a region entry, the
+// copy weights sum to the AVEP frequency (mass conservation, the
+// invariant of the paper's Figure 4).
+func TestQuickMassConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		inip, avep := randomScenario(seed)
+		res, err := Normalize(inip, avep)
+		if err != nil {
+			return false
+		}
+		// Sum weights by address, and find which addresses have an
+		// entry copy.
+		sums := map[int]float64{}
+		hasEntry := map[int]bool{}
+		counts := map[int]int{}
+		for _, r := range inip.Regions {
+			entryAddr := r.EntryBlock().Addr
+			hasEntry[entryAddr] = true
+			for i := range r.Blocks {
+				counts[r.Blocks[i].Addr]++
+			}
+		}
+		for _, b := range res.Blocks {
+			if b.CopyID >= 0 {
+				sums[b.Addr] += b.W
+			}
+		}
+		for addr, sum := range sums {
+			if !hasEntry[addr] {
+				continue // no remainder absorber: conservation not guaranteed
+			}
+			freq := float64(avep.Blocks[addr].Use)
+			// The remainder equation clamps at zero, so the sum may
+			// undershoot when interior inflow exceeds the AVEP count,
+			// but must never exceed it beyond rounding... except when
+			// clamping leaves excess interior flow. Allow overshoot only
+			// from that clamp: tolerate 1e-6 relative otherwise.
+			if counts[addr] == 1 && !almostEqual(sum, freq) {
+				t.Logf("seed %d: unique addr %d sum %v != freq %v", seed, addr, sum, freq)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-6*scale
+}

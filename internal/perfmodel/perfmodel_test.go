@@ -1,0 +1,107 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsOrdering(t *testing.T) {
+	p := DefaultParams()
+	if p.OptFactor >= p.QuickFactor {
+		t.Fatal("optimized code must be faster than quick-translated code")
+	}
+	if p.OptFactor >= p.OffTraceFactor {
+		t.Fatal("on-trace execution must beat off-trace execution")
+	}
+	if p.OptPerInst <= p.ColdPerInst {
+		t.Fatal("optimization must cost more than quick translation")
+	}
+	if p.SideExitPenalty <= 0 || p.ProfOverhead <= 0 {
+		t.Fatal("penalties must be positive")
+	}
+}
+
+func TestChargesAccumulate(t *testing.T) {
+	p := Params{
+		ColdPerInst: 10, OptPerInst: 100, QuickFactor: 2,
+		ProfOverhead: 3, OptFactor: 1, OffTraceFactor: 1.5, SideExitPenalty: 7,
+	}
+	a := NewAccumulator(p)
+	a.ChargeTranslate(5)      // 50
+	a.ChargeOptimize(4)       // 400
+	a.ChargeQuickBlock(10)    // 20 + 3
+	a.ChargeOptimizedBlock(8) // 8
+	a.ChargeOffTraceBlock(8)  // 12
+	a.ChargeSideExit()        // 7
+	want := 50.0 + 400 + 23 + 8 + 12 + 7
+	if math.Abs(a.Cycles-want) > 1e-9 {
+		t.Fatalf("Cycles = %v, want %v", a.Cycles, want)
+	}
+	if a.TranslateCycles != 50 || a.OptimizeCycles != 400 {
+		t.Fatalf("one-time breakdown wrong: %+v", a)
+	}
+	if a.QuickCycles != 20 || a.ProfileCycles != 3 {
+		t.Fatalf("quick breakdown wrong: %+v", a)
+	}
+	if a.OptimizedCycles != 8 || a.OffTraceCycles != 12 || a.PenaltyCycles != 7 {
+		t.Fatalf("optimized breakdown wrong: %+v", a)
+	}
+}
+
+func TestParamsAccessor(t *testing.T) {
+	p := DefaultParams()
+	a := NewAccumulator(p)
+	if a.Params() != p {
+		t.Fatal("Params() does not round-trip")
+	}
+}
+
+// Property: total cycles always equal the sum of the breakdown terms.
+func TestQuickBreakdownSums(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewAccumulator(DefaultParams())
+		for _, op := range ops {
+			cost := int(op%16) + 1
+			switch op % 6 {
+			case 0:
+				a.ChargeTranslate(cost)
+			case 1:
+				a.ChargeOptimize(cost)
+			case 2:
+				a.ChargeQuickBlock(cost)
+			case 3:
+				a.ChargeOptimizedBlock(cost)
+			case 4:
+				a.ChargeOffTraceBlock(cost)
+			case 5:
+				a.ChargeSideExit()
+			}
+		}
+		sum := a.TranslateCycles + a.OptimizeCycles + a.QuickCycles +
+			a.ProfileCycles + a.OptimizedCycles + a.OffTraceCycles + a.PenaltyCycles
+		return math.Abs(sum-a.Cycles) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: charges are monotone: more work never reduces cycles.
+func TestQuickMonotone(t *testing.T) {
+	f := func(costs []uint8) bool {
+		a := NewAccumulator(DefaultParams())
+		prev := 0.0
+		for _, c := range costs {
+			a.ChargeQuickBlock(int(c%32) + 1)
+			if a.Cycles < prev {
+				return false
+			}
+			prev = a.Cycles
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package region
+
+import (
+	"sort"
+
+	"repro/internal/profile"
+)
+
+// snapshotProvider adapts an unoptimized profile snapshot (end-of-run
+// counters for every block) to the Provider interface, letting the
+// region former run offline over a finished profile instead of a live
+// translation cache.
+type snapshotProvider struct {
+	blocks map[int]*profile.Block
+}
+
+func (p snapshotProvider) Info(addr int) (BlockInfo, bool) {
+	b, ok := p.blocks[addr]
+	if !ok {
+		return BlockInfo{}, false
+	}
+	term := TermOther
+	switch {
+	case b.HasBranch:
+		term = TermBranch
+	case b.TakenTarget >= 0 && b.FallTarget < 0:
+		term = TermJump
+	}
+	return BlockInfo{
+		Addr:        b.Addr,
+		End:         b.End,
+		Use:         b.Use,
+		Taken:       b.Taken,
+		Term:        term,
+		TakenTarget: b.TakenTarget,
+		FallTarget:  b.FallTarget,
+	}, true
+}
+
+// FormOffline applies the optimization phase's region former to an
+// unoptimized snapshot, seeding from every block whose use count
+// reaches the given threshold. This implements the future-work item of
+// the paper's section 5: constructing regions in INIP(train) so that
+// Sd.CP(train) and Sd.LP(train) can be computed against AVEP.
+//
+// The returned regions carry the snapshot's end-of-run counters as
+// their (pseudo-frozen) probabilities. The input snapshot is not
+// modified.
+func FormOffline(snap *profile.Snapshot, threshold uint64, cfg Config) []*profile.Region {
+	p := snapshotProvider{blocks: snap.Blocks}
+	if cfg == (Config{}) {
+		cfg = DefaultConfig(threshold)
+	}
+	var candidates []int
+	for addr, b := range snap.Blocks {
+		if b.Use >= threshold {
+			candidates = append(candidates, addr)
+		}
+	}
+	sort.Ints(candidates) // deterministic seed order before hotness sort
+	f := NewFormer(cfg)
+	return f.Form(p, candidates)
+}
+
+// WithOfflineRegions returns a shallow copy of an unoptimized snapshot
+// with offline-formed regions attached and the consumed blocks removed
+// from the plain-block table (mirroring what a real optimized snapshot
+// looks like, so the normalizer treats it identically).
+func WithOfflineRegions(snap *profile.Snapshot, threshold uint64, cfg Config) *profile.Snapshot {
+	regions := FormOffline(snap, threshold, cfg)
+	placed := make(map[int]bool)
+	for _, r := range regions {
+		for i := range r.Blocks {
+			placed[r.Blocks[i].Addr] = true
+		}
+	}
+	out := &profile.Snapshot{
+		Program:        snap.Program,
+		Input:          snap.Input,
+		Threshold:      threshold,
+		Optimized:      true,
+		Blocks:         make(map[int]*profile.Block, len(snap.Blocks)),
+		Regions:        regions,
+		ProfilingOps:   snap.ProfilingOps,
+		BlocksExecuted: snap.BlocksExecuted,
+		Instructions:   snap.Instructions,
+		Cycles:         snap.Cycles,
+	}
+	for addr, b := range snap.Blocks {
+		if !placed[addr] {
+			out.Blocks[addr] = b
+		}
+	}
+	return out
+}

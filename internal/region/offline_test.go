@@ -1,0 +1,110 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+// avepLike builds an unoptimized snapshot shaped like a hot loop
+// feeding a biased trace.
+func avepLike() *profile.Snapshot {
+	s := profile.NewSnapshot("p", "train", 0, false)
+	add := func(addr, end int, use, taken uint64, branch bool, tt, ft int) {
+		s.Blocks[addr] = &profile.Block{Addr: addr, End: end, Use: use, Taken: taken, HasBranch: branch, TakenTarget: tt, FallTarget: ft}
+	}
+	// Loop: 10 -> 10 with p 0.95; exit falls to 13.
+	add(10, 12, 100000, 95000, true, 10, 13)
+	// Trace: 13 -(0.9)-> 20 -> jmp 30; 30 ends in halt-like Other.
+	add(13, 14, 5000, 4500, true, 20, 15)
+	add(20, 21, 4500, 0, false, 30, -1)
+	add(30, 31, 4600, 0, false, -1, -1)
+	add(15, 16, 500, 0, false, -1, -1)
+	return s
+}
+
+func TestFormOfflineFindsLoopAndTrace(t *testing.T) {
+	snap := avepLike()
+	regions := FormOffline(snap, 1000, Config{})
+	if len(regions) < 2 {
+		t.Fatalf("formed %d regions, want loop + trace", len(regions))
+	}
+	var loops, traces int
+	for _, r := range regions {
+		switch r.Kind {
+		case profile.RegionLoop:
+			loops++
+			lp, err := LoopBackProb(r, FrozenProb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lp < 0.94 || lp > 0.96 {
+				t.Fatalf("offline loop LP = %v, want ~0.95", lp)
+			}
+		case profile.RegionTrace:
+			traces++
+		}
+	}
+	if loops == 0 || traces == 0 {
+		t.Fatalf("loops=%d traces=%d", loops, traces)
+	}
+}
+
+func TestFormOfflineRespectsThreshold(t *testing.T) {
+	snap := avepLike()
+	regions := FormOffline(snap, 1<<40, Config{})
+	if len(regions) != 0 {
+		t.Fatalf("cold snapshot formed %d regions", len(regions))
+	}
+}
+
+func TestFormOfflineDeterministic(t *testing.T) {
+	snap := avepLike()
+	a := FormOffline(snap, 1000, Config{})
+	b := FormOffline(snap, 1000, Config{})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic region count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || len(a[i].Blocks) != len(b[i].Blocks) {
+			t.Fatalf("region %d differs between runs", i)
+		}
+		for j := range a[i].Blocks {
+			if a[i].Blocks[j].Addr != b[i].Blocks[j].Addr {
+				t.Fatalf("region %d block %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestWithOfflineRegionsMovesBlocks(t *testing.T) {
+	snap := avepLike()
+	orig := len(snap.Blocks)
+	out := WithOfflineRegions(snap, 1000, Config{})
+	if !out.Optimized || out.Threshold != 1000 {
+		t.Fatalf("output flags wrong: %+v", out)
+	}
+	if len(out.Regions) == 0 {
+		t.Fatal("no regions attached")
+	}
+	placed := 0
+	for _, r := range out.Regions {
+		seen := map[int]bool{}
+		for i := range r.Blocks {
+			if !seen[r.Blocks[i].Addr] {
+				seen[r.Blocks[i].Addr] = true
+				placed++
+			}
+		}
+	}
+	if len(out.Blocks) >= orig {
+		t.Fatalf("no blocks consumed: %d of %d remain", len(out.Blocks), orig)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The input snapshot must be untouched.
+	if len(snap.Blocks) != orig || snap.Optimized || len(snap.Regions) != 0 {
+		t.Fatal("input snapshot mutated")
+	}
+}

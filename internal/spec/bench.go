@@ -1,0 +1,348 @@
+package spec
+
+// The synthetic SPEC CPU2000 suite. Every benchmark's behaviour model
+// encodes the phenomenon the paper reports for its namesake (section 4):
+//
+//	gzip     high mismatch (>40%) for T <= 500 from a short initial
+//	         phase, dropping to a persistent ~20% from straddling a
+//	         mid-run behaviour flip around a bucket boundary
+//	vpr      loop trip counts flip low->high: trip-count class wrong
+//	         until T ~ 80k
+//	gcc      like vpr, plus moderate branch divergence
+//	mcf      phase changes around 5k-10k and late in the run; BP poorly
+//	         predicted at every T; initial loops look high-trip but are
+//	         low-trip on average (LP classes wrong until T ~ 10k)
+//	crafty   ~18% mismatch, flat across thresholds (half-run flip)
+//	parser   multi-phase with diminishing divergence: improves with T
+//	eon      stationary ref, divergent train: INIP beats train from 100
+//	perlbmk  stationary ref, wildly divergent train (~50% mismatch)
+//	gap      like parser
+//	vortex   stationary, train close: everything accurate
+//	bzip2    stationary, train modestly off: INIP beats train
+//	twolf    stationary, train off: INIP beats train
+//
+//	wupwise  one branch flips late: ~20% mismatch until T ~ 1M
+//	lucas    stationary ref, train badly off (~25%)
+//	apsi     stationary ref, train off (~20%)
+//	swim/mgrid/applu/galgel/facerec/sixtrack
+//	         stationary high-trip loops: accurate from tiny thresholds
+//	mesa     branchier FP member, stable
+//	art      mild trip drift within the high class
+//	equake   stable median-trip loops
+//	ammp     stable loops
+//	fma3d    stable mixed loops
+//
+// Thresholds are NOT scaled away: the default study runs the paper's
+// actual ladder 100..4M, so the small-threshold sampling noise matches
+// the paper's. What shrinks instead is total run length (driver
+// iterations), which only compresses the high end of the ladder: for
+// benchmarks whose hot blocks never reach 2T, INIP(T) simply equals
+// AVEP, the correct limit. The poster-child benchmarks for late-phase
+// effects (mcf, wupwise) get longer runs so their stories stay visible
+// at the top of the ladder.
+//
+// INT benchmarks use a 9-site layout, FP a 7-site layout, so parameter
+// rows read positionally; see intSites/fpSites for the ordering.
+
+// intSites is the INT layout:
+//
+//	0..3  branches   4  diamond   5  counted loop (trip)
+//	6     geo loop   7  call      8  switch
+func intSites() []Site {
+	return []Site{
+		{Kind: SiteBranch, Body: 2},
+		{Kind: SiteBranch, Body: 2},
+		{Kind: SiteBranch, Body: 2},
+		{Kind: SiteBranch, Body: 1},
+		{Kind: SiteDiamond, Body: 2},
+		{Kind: SiteCountedLoop, Body: 1},
+		{Kind: SiteGeoLoop, Body: 1},
+		{Kind: SiteCall},
+		{Kind: SiteSwitch, Body: 1},
+	}
+}
+
+// perlbmkSites is the INT layout with large block bodies: perlbmk's
+// translated code is dominated by big dispatch blocks, which is what
+// makes region scheduling quality matter so much for it (Figure 17).
+func perlbmkSites() []Site {
+	return []Site{
+		{Kind: SiteBranch, Body: 6},
+		{Kind: SiteBranch, Body: 6},
+		{Kind: SiteBranch, Body: 5},
+		{Kind: SiteBranch, Body: 5},
+		{Kind: SiteDiamond, Body: 5},
+		{Kind: SiteCountedLoop, Body: 4},
+		{Kind: SiteGeoLoop, Body: 5},
+		{Kind: SiteCall},
+		{Kind: SiteSwitch, Body: 4},
+		// ~2000 blocks of rarely-executed code (the interpreter's cold
+		// opcode handlers): visited ~700 times per run, so a
+		// retranslation threshold of 1k or more never optimizes it.
+		{Kind: SiteColdCode, Body: 2000},
+	}
+}
+
+// fpSites is the FP layout:
+//
+//	0..1  geo loops   2..3  counted loops (trips)
+//	4..5  branches    6     call
+func fpSites() []Site {
+	return []Site{
+		{Kind: SiteGeoLoop, Body: 1, Float: true},
+		{Kind: SiteGeoLoop, Body: 1, Float: true},
+		{Kind: SiteCountedLoop, Body: 1, Float: true},
+		{Kind: SiteCountedLoop, Body: 1, Float: true},
+		{Kind: SiteBranch, Body: 2},
+		{Kind: SiteBranch, Body: 1},
+		{Kind: SiteCall},
+	}
+}
+
+// stationary builds a single-phase behaviour.
+func stationary(params []float64) Behavior {
+	return Behavior{Params: [][]float64{params}}
+}
+
+// phased builds a multi-phase behaviour.
+func phased(bounds []float64, rows ...[]float64) Behavior {
+	return Behavior{Bounds: bounds, Params: rows}
+}
+
+// Standard run lengths (driver iterations). See the package comment for
+// why these are shorter than SPEC's while thresholds stay full-size.
+const (
+	intIters = 600e3
+	fpIters  = 30e3
+)
+
+// Suite returns all 26 benchmarks, INT first.
+func Suite() []*Benchmark {
+	out := make([]*Benchmark, 0, 26)
+	out = append(out, INTSuite()...)
+	return append(out, FPSuite()...)
+}
+
+// ByName returns the named benchmark or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// INTSuite returns the 12 SPECint2000 stand-ins.
+//
+// Weight accounting (per driver iteration, approximate branch-block
+// executions): phase selectors 3, branch sites 4, diamond 1, counted
+// loop back-branch trip+3.5, geo back-branch 1/(1-p), helper 1, switch
+// 1, driver tail 1. Behaviour flips are placed on unit-weight branch
+// sites so a flip of k sites moves ~k/23 of the benchmark's branch
+// weight; loop parameters stay stable across mid-run flips except where
+// a trip-count (LP) story requires otherwise.
+func INTSuite() []*Benchmark {
+	return []*Benchmark{
+		{
+			Name: "gzip", Class: INT, Iters: intIters, Sites: intSites(),
+			// A short wild initial phase (first 700 iterations), then a
+			// mid-run flip of four branch sites across bucket
+			// boundaries: ~40%+ mismatch for T <= 500, a persistent
+			// ~20% afterwards.
+			Ref: phased([]float64{700, 300e3},
+				[]float64{0.10, 0.95, 0.15, 0.85, 0.5, 12, 0.50, 0, 0.30},
+				[]float64{0.55, 0.25, 0.60, 0.20, 0.5, 5, 0.55, 0, 0.80},
+				[]float64{0.95, 0.65, 0.95, 0.50, 0.5, 5, 0.55, 0, 0.80}),
+			Train: stationary([]float64{0.73, 0.43, 0.75, 0.33, 0.5, 5, 0.56, 0, 0.81}),
+		},
+		{
+			Name: "vpr", Class: INT, Iters: 250e3, Sites: intSites(),
+			// Loop trip counts flip low -> high after a short prologue.
+			// Because profiling counters accumulate from first
+			// execution, the early low-trip samples contaminate the
+			// frozen estimate: the trip-count class reads median, not
+			// high, until the window grows to T ~ 80k.
+			Ref: phased([]float64{250},
+				[]float64{0.85, 0.20, 0.75, 0.60, 0.5, 3, 0.60, 0, 0.85},
+				[]float64{0.85, 0.20, 0.75, 0.60, 0.5, 90, 0.60, 0, 0.85}),
+			Train: stationary([]float64{0.83, 0.22, 0.77, 0.58, 0.5, 86, 0.61, 0, 0.84}),
+		},
+		{
+			Name: "gcc", Class: INT, Iters: 250e3, Sites: intSites(),
+			// Like vpr for loops (class wrong until T ~ 80k) plus a
+			// moderate branch divergence in the first 9k iterations.
+			Ref: phased([]float64{350, 9e3},
+				[]float64{0.60, 0.35, 0.88, 0.45, 0.45, 4, 0.65, 0, 0.75},
+				[]float64{0.60, 0.35, 0.88, 0.45, 0.45, 80, 0.65, 0, 0.75},
+				[]float64{0.78, 0.42, 0.88, 0.52, 0.45, 80, 0.65, 0, 0.75}),
+			Train: stationary([]float64{0.75, 0.40, 0.86, 0.50, 0.45, 76, 0.66, 0, 0.76}),
+		},
+		{
+			Name: "mcf", Class: INT, Iters: 8.5e6, Sites: intSites(),
+			// A tiny initial phase with high-trip loops (the paper's
+			// prefetching anecdote), a BP phase change straddled by the
+			// 5k..10k windows, and a late change at 2.8M. The phase-2
+			// and phase-3 branch values sit in different buckets than
+			// their mix, so the profile is wrong at EVERY threshold.
+			Ref: phased([]float64{170, 11e3, 2.8e6},
+				[]float64{0.95, 0.10, 0.85, 0.90, 0.25, 60, 0.99, 0, 0.90},
+				[]float64{0.60, 0.42, 0.62, 0.52, 0.50, 3, 0.60, 0, 0.70},
+				[]float64{0.20, 0.85, 0.95, 0.15, 0.25, 3, 0.50, 0, 0.90},
+				[]float64{0.80, 0.25, 0.35, 0.75, 0.62, 5, 0.65, 0, 0.55}),
+			Train: stationary([]float64{0.58, 0.47, 0.56, 0.53, 0.5, 4, 0.62, 0, 0.68}),
+		},
+		{
+			Name: "crafty", Class: INT, Iters: intIters, Sites: intSites(),
+			// A half-run flip of four branch sites across the bucket
+			// boundaries: ~18% mismatch, flat for every finite window.
+			Ref: phased([]float64{300e3},
+				[]float64{0.55, 0.25, 0.60, 0.20, 0.5, 6, 0.65, 0, 0.88},
+				[]float64{0.95, 0.65, 0.95, 0.50, 0.5, 6, 0.65, 0, 0.88}),
+			Train: stationary([]float64{0.74, 0.44, 0.76, 0.34, 0.5, 6, 0.66, 0, 0.87}),
+		},
+		{
+			Name: "parser", Class: INT, Iters: intIters, Sites: intSites(),
+			// Diminishing divergence: early phases differ a lot, later
+			// phases settle near the average.
+			Ref: phased([]float64{5e3, 40e3},
+				[]float64{0.45, 0.78, 0.60, 0.66, 0.5, 4, 0.77, 0, 0.86},
+				[]float64{0.60, 0.68, 0.68, 0.60, 0.5, 4, 0.77, 0, 0.86},
+				[]float64{0.76, 0.54, 0.82, 0.51, 0.5, 4, 0.78, 0, 0.86}),
+			Train: stationary([]float64{0.71, 0.59, 0.79, 0.53, 0.5, 4, 0.77, 0, 0.85}),
+		},
+		{
+			Name: "eon", Class: INT, Iters: intIters, Sites: intSites(),
+			// Stationary reference; the training input behaves quite
+			// differently, so INIP beats train at every threshold.
+			Ref:   stationary([]float64{0.88, 0.15, 0.75, 0.60, 0.5, 7, 0.78, 0, 0.90}),
+			Train: stationary([]float64{0.60, 0.40, 0.45, 0.80, 0.5, 10, 0.66, 0, 0.74}),
+		},
+		{
+			Name: "perlbmk", Class: INT, Iters: intIters, Sites: perlbmkSites(),
+			// The paper's standout: the training input predicts the
+			// reference run terribly (~50% mismatch) while even a
+			// 100-sample initial profile nails it, and the performance
+			// gap between profile-guided regions and T=1 regions is the
+			// suite's largest: the branch biases sit just past the
+			// region former's 0.7 minimum probability, so one-sample
+			// region formation regularly picks wrong directions, and
+			// the large block bodies make on-trace scheduling matter.
+			Ref:   stationary([]float64{0.78, 0.22, 0.78, 0.22, 0.5, 6, 0.78, 0, 0.78, 0.0012}),
+			Train: stationary([]float64{0.25, 0.78, 0.22, 0.82, 0.5, 40, 0.35, 0, 0.32, 0.0012}),
+		},
+		{
+			Name: "gap", Class: INT, Iters: intIters, Sites: intSites(),
+			Ref: phased([]float64{8e3, 60e3},
+				[]float64{0.50, 0.75, 0.55, 0.80, 0.5, 5, 0.76, 0, 0.84},
+				[]float64{0.62, 0.66, 0.66, 0.72, 0.5, 5, 0.76, 0, 0.84},
+				[]float64{0.78, 0.52, 0.78, 0.66, 0.5, 5, 0.77, 0, 0.84}),
+			Train: stationary([]float64{0.74, 0.56, 0.76, 0.65, 0.5, 5, 0.77, 0, 0.83}),
+		},
+		{
+			Name: "vortex", Class: INT, Iters: intIters, Sites: intSites(),
+			Ref:   stationary([]float64{0.85, 0.20, 0.90, 0.45, 0.5, 7, 0.76, 0, 0.90}),
+			Train: stationary([]float64{0.84, 0.21, 0.89, 0.46, 0.5, 7, 0.75, 0, 0.89}),
+		},
+		{
+			Name: "bzip2", Class: INT, Iters: intIters, Sites: intSites(),
+			Ref:   stationary([]float64{0.80, 0.30, 0.85, 0.55, 0.5, 6, 0.72, 0, 0.88}),
+			Train: stationary([]float64{0.68, 0.37, 0.76, 0.62, 0.5, 8, 0.67, 0, 0.81}),
+		},
+		{
+			Name: "twolf", Class: INT, Iters: intIters, Sites: intSites(),
+			Ref:   stationary([]float64{0.92, 0.12, 0.78, 0.62, 0.5, 8, 0.74, 0, 0.91}),
+			Train: stationary([]float64{0.80, 0.24, 0.66, 0.73, 0.5, 10, 0.68, 0, 0.84}),
+		},
+	}
+}
+
+// FPSuite returns the 14 SPECfp2000 stand-ins.
+func FPSuite() []*Benchmark {
+	return []*Benchmark{
+		{
+			Name: "wupwise", Class: FP, Iters: 800e3, Sites: fpSites(),
+			// The dominant geometric loop flips its continuation
+			// probability at half-run: ~20% of branch weight stays
+			// mispredicted until the freeze window passes the boundary
+			// near the top of the ladder (the paper's "until 1M").
+			Ref: phased([]float64{400e3},
+				[]float64{0.55, 0.85, 14, 12, 0.25, 0.90, 0},
+				[]float64{0.95, 0.85, 14, 12, 0.85, 0.90, 0}),
+			Train: stationary([]float64{0.76, 0.85, 14, 12, 0.66, 0.89, 0}),
+		},
+		{
+			Name: "swim", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.985, 0.98, 60, 30, 0.92, 0.85, 0}),
+			Train: stationary([]float64{0.983, 0.977, 56, 32, 0.89, 0.87, 0}),
+		},
+		{
+			Name: "mgrid", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.985, 0.99, 55, 28, 0.88, 0.93, 0}),
+			Train: stationary([]float64{0.983, 0.988, 52, 30, 0.86, 0.91, 0}),
+		},
+		{
+			Name: "applu", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.98, 0.985, 58, 35, 0.90, 0.88, 0}),
+			Train: stationary([]float64{0.978, 0.983, 60, 33, 0.88, 0.86, 0}),
+		},
+		{
+			Name: "mesa", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.96, 0.95, 25, 18, 0.80, 0.75, 0}),
+			Train: stationary([]float64{0.955, 0.945, 27, 19, 0.78, 0.77, 0}),
+		},
+		{
+			Name: "galgel", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.99, 0.985, 65, 40, 0.93, 0.91, 0}),
+			Train: stationary([]float64{0.988, 0.983, 62, 42, 0.91, 0.90, 0}),
+		},
+		{
+			Name: "art", Class: FP, Iters: fpIters, Sites: fpSites(),
+			// A drift inside the high-trip class: visible in Sd.LP but
+			// not in the class mismatch.
+			Ref: phased([]float64{5e3},
+				[]float64{0.985, 0.98, 60, 35, 0.90, 0.85, 0},
+				[]float64{0.992, 0.987, 75, 30, 0.90, 0.85, 0}),
+			Train: stationary([]float64{0.991, 0.986, 72, 31, 0.89, 0.85, 0}),
+		},
+		{
+			Name: "equake", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.96, 0.95, 30, 20, 0.86, 0.82, 0}),
+			Train: stationary([]float64{0.957, 0.947, 32, 21, 0.84, 0.84, 0}),
+		},
+		{
+			Name: "facerec", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.988, 0.986, 62, 38, 0.91, 0.88, 0}),
+			Train: stationary([]float64{0.986, 0.984, 59, 40, 0.89, 0.86, 0}),
+		},
+		{
+			Name: "ammp", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.975, 0.97, 40, 28, 0.84, 0.80, 0}),
+			Train: stationary([]float64{0.972, 0.967, 42, 29, 0.82, 0.82, 0}),
+		},
+		{
+			Name: "lucas", Class: FP, Iters: fpIters, Sites: fpSites(),
+			// Stationary ref; train badly off (paper: ~25% mismatch),
+			// including the dominant loop crossing the high/median
+			// class boundary.
+			Ref:   stationary([]float64{0.985, 0.98, 55, 35, 0.90, 0.20, 0}),
+			Train: stationary([]float64{0.955, 0.94, 18, 12, 0.45, 0.75, 0}),
+		},
+		{
+			Name: "fma3d", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.98, 0.975, 56, 33, 0.87, 0.84, 0}),
+			Train: stationary([]float64{0.977, 0.972, 58, 31, 0.85, 0.82, 0}),
+		},
+		{
+			Name: "sixtrack", Class: FP, Iters: fpIters, Sites: fpSites(),
+			Ref:   stationary([]float64{0.987, 0.984, 58, 36, 0.89, 0.86, 0}),
+			Train: stationary([]float64{0.985, 0.982, 55, 38, 0.87, 0.84, 0}),
+		},
+		{
+			Name: "apsi", Class: FP, Iters: fpIters, Sites: fpSites(),
+			// Stationary ref; train off (paper: ~20% mismatch).
+			Ref:   stationary([]float64{0.985, 0.975, 58, 34, 0.85, 0.90, 0}),
+			Train: stationary([]float64{0.945, 0.96, 17, 11, 0.40, 0.60, 0}),
+		},
+	}
+}

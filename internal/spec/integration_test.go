@@ -1,0 +1,167 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/dbt"
+	"repro/internal/interp"
+	"repro/internal/profile"
+)
+
+func TestSnapshotSurvivesSaveLoadPipeline(t *testing.T) {
+	// The dbtrun -> profcmp pipeline: a snapshot dumped to JSON and
+	// reloaded must compare identically to the in-memory original.
+	b := ByName("gcc")
+	img, tape, err := b.Build("ref", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: true, Threshold: 100, RegisterTwice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := profile.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Blocks) != len(snap.Blocks) || len(loaded.Regions) != len(snap.Regions) {
+		t.Fatalf("round trip changed shapes: %d/%d blocks, %d/%d regions",
+			len(loaded.Blocks), len(snap.Blocks), len(loaded.Regions), len(snap.Regions))
+	}
+	for i, r := range snap.Regions {
+		lr := loaded.Regions[i]
+		if lr.Kind != r.Kind || lr.Entry != r.Entry || len(lr.Blocks) != len(r.Blocks) {
+			t.Fatalf("region %d changed in round trip", i)
+		}
+	}
+}
+
+func TestSwitchHeavyProgramUnderTranslation(t *testing.T) {
+	// The jr-based dispatch must work under full optimization: the
+	// engine treats indirect targets as region boundaries.
+	b := &Benchmark{
+		Name: "swheavy", Class: INT, Iters: 30000,
+		Sites: []Site{
+			{Kind: SiteSwitch, Body: 2},
+			{Kind: SiteSwitch, Body: 2},
+			{Kind: SiteBranch, Body: 2},
+		},
+		Ref:   Behavior{Params: [][]float64{{0.8, 0.6, 0.9}}},
+		Train: Behavior{Params: [][]float64{{0.8, 0.6, 0.9}}},
+	}
+	img, tape, err := b.Build("ref", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, stats, err := dbt.Run(img, tape, dbt.Config{Optimize: true, Threshold: 200, RegisterTwice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OptimizationWaves == 0 {
+		t.Fatal("no optimization on a hot program")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No region may contain an indirect jump mid-region: jr blocks must
+	// always be region tails (the former stops at TermOther).
+	for _, r := range snap.Regions {
+		for i := range r.Blocks {
+			rb := &r.Blocks[i]
+			if rb.TakenNext != -1 && !rb.HasBranch && rb.TakenTarget < 0 {
+				t.Fatalf("region %d continues through an indirect transfer at %d", r.ID, rb.Addr)
+			}
+		}
+	}
+}
+
+// TestDynamicLoopRegionsMatchStaticLoops cross-checks the translator's
+// dynamic loop-region formation against static natural-loop analysis:
+// every loop region's entry must lie inside some static natural loop
+// (the dynamic optimizer cannot invent cycles the CFG does not have).
+func TestDynamicLoopRegionsMatchStaticLoops(t *testing.T) {
+	for _, name := range []string{"vortex", "swim", "mcf"} {
+		b := ByName(name)
+		img, tape, err := b.Build("ref", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := cfg.Build(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inLoop := map[int]bool{}
+		for _, l := range g.NaturalLoops() {
+			for addr := range l.Body {
+				blk := g.Blocks[addr]
+				for pc := blk.Start; pc <= blk.End; pc++ {
+					inLoop[pc] = true
+				}
+			}
+		}
+		snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: true, Threshold: 50, RegisterTwice: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range snap.Regions {
+			if r.Kind != profile.RegionLoop {
+				continue
+			}
+			entry := r.EntryBlock().Addr
+			if !inLoop[entry] {
+				t.Errorf("%s: dynamic loop region entry %d outside every static natural loop", name, entry)
+			}
+		}
+	}
+}
+
+// TestTranslatorMatchesInterpreterState is the strongest equivalence
+// check between the two execution engines: for several benchmarks, the
+// final guest registers and data memory after a full run must be
+// bit-identical between the reference interpreter and the translator
+// (with and without optimization — translation must never change guest
+// semantics).
+func TestTranslatorMatchesInterpreterState(t *testing.T) {
+	for _, name := range []string{"vortex", "swim", "gzip"} {
+		img, _, err := ByName(name).Build("ref", 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := interp.NewMachine(img, interp.NewUniformTape(name+"/ref"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, threshold := range []uint64{0, 50} {
+			e, err := dbt.New(img, interp.NewUniformTape(name+"/ref"), dbt.Config{
+				Optimize: threshold > 0, Threshold: threshold, RegisterTwice: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if e.State().Regs != m.State().Regs {
+				t.Fatalf("%s T=%d: final registers differ:\n dbt    %v\n interp %v",
+					name, threshold, e.State().Regs, m.State().Regs)
+			}
+			for i := range m.State().Mem {
+				if e.State().Mem[i] != m.State().Mem[i] {
+					t.Fatalf("%s T=%d: memory word %d differs", name, threshold, i)
+				}
+			}
+		}
+	}
+}

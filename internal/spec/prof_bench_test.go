@@ -1,0 +1,23 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/interp"
+)
+
+func BenchmarkMcfAVEP(b *testing.B) {
+	img, _, err := ByName("mcf").Build("ref", 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := dbt.Run(img, interp.NewUniformTape("mcf/ref"), dbt.Config{Optimize: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stats.Instructions), "instrs")
+	}
+}

@@ -1,0 +1,213 @@
+// Package spec provides the synthetic SPEC CPU2000 stand-in suite: 12
+// INT and 14 FP benchmark programs expressed as parameterized guest-code
+// generators.
+//
+// The paper's phenomena are properties of program *behaviour* — whether
+// branch biases and loop trip counts are stationary over the run,
+// whether they shift in phases, and how the training input's behaviour
+// relates to the reference input's. Each synthetic benchmark therefore
+// declares a behaviour model:
+//
+//   - a set of sites (biased branches, unbiased diamonds, geometric
+//     loops, counted loops, calls, indirect switches) that the generated
+//     code instantiates;
+//   - per input ("ref", "train"), a phase schedule (boundaries in
+//     driver iterations) and per-phase parameter values for every site.
+//
+// Parameters are baked into the image's data segment, never into code,
+// so the code layout — and with it every block address — is identical
+// across inputs, exactly as for a real binary run on two inputs. The
+// running program selects its current phase by comparing the iteration
+// counter against boundary registers and indexing the parameter table,
+// so phase changes are ordinary program behaviour, visible to the
+// translator only through the branches it profiles.
+//
+// All quantities that correspond to the paper's x-axis (retranslation
+// thresholds) and run lengths are expressed in "paper units" and scaled
+// uniformly by the caller (see Scale in package study), preserving every
+// ratio the figures report.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/interp"
+)
+
+// Class labels a benchmark as SPECint or SPECfp.
+type Class int
+
+const (
+	// INT marks the integer suite (control-intensive).
+	INT Class = iota
+	// FP marks the floating-point suite (loop-intensive).
+	FP
+)
+
+// String returns "INT" or "FP".
+func (c Class) String() string {
+	if c == FP {
+		return "FP"
+	}
+	return "INT"
+}
+
+// SiteKind enumerates the code shapes a benchmark can instantiate.
+type SiteKind int
+
+const (
+	// SiteBranch is a tape-driven two-way branch whose taken
+	// probability is the site parameter.
+	SiteBranch SiteKind = iota
+	// SiteDiamond is an if/else whose both arms jump to a common merge
+	// block; the parameter is the taken probability. Near-0.5 values
+	// make the optimizer absorb the diamond whole (hyperblock shape).
+	SiteDiamond
+	// SiteGeoLoop is a do-while loop that continues with the site
+	// parameter's probability: loop-back probability equals the
+	// parameter directly.
+	SiteGeoLoop
+	// SiteCountedLoop runs a counted inner loop; the parameter is the
+	// trip count (plus a small tape-driven jitter of 0..7).
+	SiteCountedLoop
+	// SiteCall invokes a shared helper procedure (parameter unused).
+	SiteCall
+	// SiteSwitch is a register-indirect dispatch: with the parameter's
+	// probability it jumps to a hot target, otherwise to one of two
+	// cold targets chosen by the tape.
+	SiteSwitch
+	// SiteColdCode is a chain of Body straight-line blocks guarded by a
+	// branch taken with the (tiny) parameter probability: a stand-in
+	// for a large, rarely-executed code footprint. Its role is the
+	// performance study: a T=1 translator optimizes the whole chain
+	// (paying the optimizer for cold code), while any realistic
+	// threshold leaves it in quick-translated form.
+	SiteColdCode
+)
+
+// Site is one code shape instance in a benchmark.
+type Site struct {
+	Kind SiteKind
+	// Body is the number of filler ALU instructions per arm or loop
+	// body, giving blocks realistic sizes and costs. For SiteColdCode
+	// it is the number of cold blocks in the chain.
+	Body int
+	// Float selects floating-point filler (FP benchmarks).
+	Float bool
+}
+
+// Behavior is one input's behaviour model.
+type Behavior struct {
+	// Bounds are ascending phase boundaries in paper-unit driver
+	// iterations; len(Bounds)+1 phases result. At most 3 boundaries.
+	Bounds []float64
+	// Params[phase][site] is the per-phase parameter of each site:
+	// a probability in [0,1] for branch/diamond/geo/switch sites, a
+	// trip count >= 1 for counted loops, ignored for calls.
+	Params [][]float64
+}
+
+// phases returns the number of phases.
+func (b *Behavior) phases() int { return len(b.Bounds) + 1 }
+
+// Benchmark is one synthetic SPEC2000 member.
+type Benchmark struct {
+	Name  string
+	Class Class
+	// Iters is the driver iteration count in paper units.
+	Iters float64
+	Sites []Site
+	Ref   Behavior
+	Train Behavior
+}
+
+// Validate checks structural consistency of the behaviour models.
+func (b *Benchmark) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("spec: benchmark without name")
+	}
+	if b.Iters < 1 {
+		return fmt.Errorf("spec: %s: iters %v < 1", b.Name, b.Iters)
+	}
+	if len(b.Sites) == 0 {
+		return fmt.Errorf("spec: %s: no sites", b.Name)
+	}
+	for _, in := range []struct {
+		name string
+		bh   *Behavior
+	}{{"ref", &b.Ref}, {"train", &b.Train}} {
+		if len(in.bh.Bounds) > 3 {
+			return fmt.Errorf("spec: %s/%s: more than 3 phase bounds", b.Name, in.name)
+		}
+		prev := 0.0
+		for _, bound := range in.bh.Bounds {
+			if bound <= prev {
+				return fmt.Errorf("spec: %s/%s: bounds not ascending", b.Name, in.name)
+			}
+			if bound >= b.Iters {
+				return fmt.Errorf("spec: %s/%s: bound %v beyond iters %v", b.Name, in.name, bound, b.Iters)
+			}
+			prev = bound
+		}
+		if len(in.bh.Params) != in.bh.phases() {
+			return fmt.Errorf("spec: %s/%s: %d param rows for %d phases", b.Name, in.name, len(in.bh.Params), in.bh.phases())
+		}
+		for p, row := range in.bh.Params {
+			if len(row) != len(b.Sites) {
+				return fmt.Errorf("spec: %s/%s: phase %d has %d params for %d sites", b.Name, in.name, p, len(row), len(b.Sites))
+			}
+			for s, v := range row {
+				switch b.Sites[s].Kind {
+				case SiteCountedLoop:
+					if v < 1 || v > 1<<20 {
+						return fmt.Errorf("spec: %s/%s: phase %d site %d: trip %v out of range", b.Name, in.name, p, s, v)
+					}
+				case SiteCall:
+					// unused
+				default:
+					if v < 0 || v > 1 {
+						return fmt.Errorf("spec: %s/%s: phase %d site %d: probability %v out of [0,1]", b.Name, in.name, p, s, v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Build generates the guest image and tape for the named input at the
+// given scale. Scale multiplies iteration counts and phase boundaries;
+// thresholds must be scaled identically by the caller.
+func (b *Benchmark) Build(input string, scale float64) (*guest.Image, interp.Tape, error) {
+	if err := b.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var bh *Behavior
+	switch input {
+	case "ref":
+		bh = &b.Ref
+	case "train":
+		bh = &b.Train
+	default:
+		return nil, nil, fmt.Errorf("spec: %s: unknown input %q", b.Name, input)
+	}
+	img, err := generate(b, bh, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	tape := interp.NewUniformTape(b.Name + "/" + input)
+	return img, tape, nil
+}
+
+// Target adapts the benchmark to the core experiment pipeline at a fixed
+// scale.
+func (b *Benchmark) Target(scale float64) core.Target {
+	return core.Target{
+		Name: b.Name,
+		Build: func(input string) (*guest.Image, interp.Tape, error) {
+			return b.Build(input, scale)
+		},
+	}
+}

@@ -1,0 +1,429 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/interp"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	all := Suite()
+	if len(all) != 26 {
+		t.Fatalf("suite has %d members, want 26", len(all))
+	}
+	ints, fps := 0, 0
+	names := make(map[string]bool)
+	for _, b := range all {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		switch b.Class {
+		case INT:
+			ints++
+		case FP:
+			fps++
+		}
+	}
+	if ints != 12 || fps != 14 {
+		t.Fatalf("suite split %d INT / %d FP, want 12/14", ints, fps)
+	}
+	for _, want := range []string{"gzip", "mcf", "perlbmk", "wupwise", "lucas", "apsi"} {
+		if ByName(want) == nil {
+			t.Fatalf("missing benchmark %q", want)
+		}
+	}
+	if ByName("nonexistent") != nil {
+		t.Fatal("ByName invented a benchmark")
+	}
+}
+
+func TestAllBenchmarksValidateAndBuild(t *testing.T) {
+	for _, b := range Suite() {
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for _, input := range []string{"ref", "train"} {
+			img, tape, err := b.Build(input, 0.0002)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, input, err)
+			}
+			if tape == nil {
+				t.Fatalf("%s/%s: nil tape", b.Name, input)
+			}
+			if err := img.Validate(); err != nil {
+				t.Fatalf("%s/%s image: %v", b.Name, input, err)
+			}
+		}
+	}
+}
+
+func TestCodeIdenticalAcrossInputs(t *testing.T) {
+	// The code layout must not depend on the input: only the data
+	// segment (behaviour parameters) may differ. This is what makes
+	// block addresses comparable between AVEP and INIP(train).
+	for _, b := range Suite() {
+		ref, _, err := b.Build("ref", 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train, _, err := b.Build("train", 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Code) != len(train.Code) {
+			t.Fatalf("%s: code lengths differ: %d vs %d", b.Name, len(ref.Code), len(train.Code))
+		}
+		for i := range ref.Code {
+			if ref.Code[i] != train.Code[i] {
+				t.Fatalf("%s: code word %d differs between inputs", b.Name, i)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsUnknownInput(t *testing.T) {
+	if _, _, err := Suite()[0].Build("bogus", 0.01); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	b := ByName("mcf")
+	img1, _, err := b.Build("ref", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, _, err := b.Build("ref", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img1.Code {
+		if img1.Code[i] != img2.Code[i] {
+			t.Fatal("builds not deterministic")
+		}
+	}
+	for i := range img1.InitData {
+		if img1.InitData[i] != img2.InitData[i] {
+			t.Fatal("init data not deterministic")
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	good := ByName("vortex")
+	bad := *good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("accepted empty name")
+	}
+	bad = *good
+	bad.Ref.Params = [][]float64{{0.5}}
+	if bad.Validate() == nil {
+		t.Fatal("accepted short param row")
+	}
+	bad = *good
+	bad.Ref = phased([]float64{5, 4},
+		good.Ref.Params[0], good.Ref.Params[0], good.Ref.Params[0])
+	if bad.Validate() == nil {
+		t.Fatal("accepted non-ascending bounds")
+	}
+	bad = *good
+	row := append([]float64(nil), good.Ref.Params[0]...)
+	row[0] = 1.5
+	bad.Ref = stationary(row)
+	if bad.Validate() == nil {
+		t.Fatal("accepted probability > 1")
+	}
+}
+
+// runAVEP executes a benchmark without optimization and returns the
+// snapshot.
+func runAVEP(t *testing.T, b *Benchmark, scale float64) map[int]struct {
+	use   uint64
+	taken uint64
+	bp    float64
+	tgt   int
+} {
+	t.Helper()
+	img, tape, err := b.Build("ref", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int]struct {
+		use   uint64
+		taken uint64
+		bp    float64
+		tgt   int
+	})
+	for addr, blk := range snap.Blocks {
+		if blk.HasBranch {
+			out[addr] = struct {
+				use   uint64
+				taken uint64
+				bp    float64
+				tgt   int
+			}{blk.Use, blk.Taken, blk.BranchProb(), blk.TakenTarget}
+		}
+	}
+	return out
+}
+
+func TestStationaryBranchRealizesParameter(t *testing.T) {
+	// A custom single-site benchmark: the branch's AVEP probability
+	// must approximate the configured bias.
+	b := &Benchmark{
+		Name: "probe", Class: INT, Iters: 20000,
+		Sites: []Site{{Kind: SiteBranch, Body: 2}},
+		Ref:   stationary([]float64{0.3}),
+		Train: stationary([]float64{0.3}),
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	img, tape, err := b.Build("ref", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	takenAddr := img.Symbols["s0_taken"]
+	var bp float64
+	var best uint64
+	for _, blk := range snap.Blocks {
+		if blk.HasBranch && blk.TakenTarget == takenAddr && blk.Use > best {
+			best = blk.Use
+			bp = blk.BranchProb()
+		}
+	}
+	if best == 0 {
+		t.Fatal("site branch not found")
+	}
+	if math.Abs(bp-0.3) > 0.02 {
+		t.Fatalf("site branch probability %v, want ~0.3", bp)
+	}
+}
+
+func TestGeoLoopRealizesLoopBack(t *testing.T) {
+	b := &Benchmark{
+		Name: "geoprobe", Class: FP, Iters: 20000,
+		Sites: []Site{{Kind: SiteGeoLoop, Body: 2}},
+		Ref:   stationary([]float64{0.9}),
+		Train: stationary([]float64{0.9}),
+	}
+	img, tape, err := b.Build("ref", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := img.Symbols["s0_top"]
+	var bp float64
+	var found bool
+	for _, blk := range snap.Blocks {
+		if blk.HasBranch && blk.TakenTarget == top && blk.Addr == top {
+			bp = blk.BranchProb()
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("loop back branch not found")
+	}
+	if math.Abs(bp-0.9) > 0.02 {
+		t.Fatalf("loop-back probability %v, want ~0.9", bp)
+	}
+}
+
+func TestCountedLoopRealizesTrip(t *testing.T) {
+	b := &Benchmark{
+		Name: "tripprobe", Class: FP, Iters: 5000,
+		Sites: []Site{{Kind: SiteCountedLoop, Body: 1}},
+		Ref:   stationary([]float64{20}),
+		Train: stationary([]float64{20}),
+	}
+	img, tape, err := b.Build("ref", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The back branch of the counted loop: trip = 20 + E[in&7] = 23.5,
+	// so LP = (trip-1)/trip ~ 0.957.
+	top := img.Symbols["s0_top"]
+	var bp float64
+	var best uint64
+	for _, blk := range snap.Blocks {
+		if blk.HasBranch && blk.TakenTarget == top && blk.Use > best {
+			best = blk.Use
+			bp = blk.BranchProb()
+		}
+	}
+	if best == 0 {
+		t.Fatal("counted loop back branch not found")
+	}
+	want := 22.5 / 23.5
+	if math.Abs(bp-want) > 0.01 {
+		t.Fatalf("counted loop LP %v, want ~%v", bp, want)
+	}
+}
+
+func TestPhasedBenchmarkMixesPhases(t *testing.T) {
+	// Two equal phases with biases 0.2 and 0.8: the AVEP probability of
+	// the site branch must land near 0.5, while a short prefix sees 0.2.
+	b := &Benchmark{
+		Name: "phaseprobe", Class: INT, Iters: 20000,
+		Sites: []Site{{Kind: SiteBranch, Body: 1}},
+		Ref: phased([]float64{10000},
+			[]float64{0.2},
+			[]float64{0.8}),
+		Train: stationary([]float64{0.5}),
+	}
+	img, tape, err := b.Build("ref", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	takenAddr := img.Symbols["s0_taken"]
+	var bp float64
+	var best uint64
+	for _, blk := range snap.Blocks {
+		if blk.HasBranch && blk.TakenTarget == takenAddr && blk.Use > best {
+			best = blk.Use
+			bp = blk.BranchProb()
+		}
+	}
+	if math.Abs(bp-0.5) > 0.03 {
+		t.Fatalf("phased average probability %v, want ~0.5", bp)
+	}
+}
+
+func TestSwitchSiteExecutes(t *testing.T) {
+	b := &Benchmark{
+		Name: "swprobe", Class: INT, Iters: 5000,
+		Sites: []Site{{Kind: SiteSwitch, Body: 2}},
+		Ref:   stationary([]float64{0.7}),
+		Train: stationary([]float64{0.7}),
+	}
+	img, tape, err := b.Build("ref", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jump table patched to real code addresses. Data layout: 4 phases
+	// x 1 site of params, 3 boundary words, then the table.
+	tbl := 4*1 + 3
+	for i := 0; i < 3; i++ {
+		addr := img.InitData[tbl+i]
+		if int(addr) >= len(img.Code) {
+			t.Fatalf("jump table entry %d = %d outside code", i, addr)
+		}
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three case blocks must have executed, the hot one most.
+	var hotUse, coldUse uint64
+	for i := 0; i < 3; i++ {
+		sym := img.Symbols["s0_case0"]
+		if i > 0 {
+			sym = img.Symbols[map[int]string{1: "s0_case1", 2: "s0_case2"}[i]]
+		}
+		blk, ok := snap.Blocks[sym]
+		if !ok || blk.Use == 0 {
+			t.Fatalf("case %d never executed", i)
+		}
+		if i == 0 {
+			hotUse = blk.Use
+		} else {
+			coldUse += blk.Use
+		}
+	}
+	if hotUse < coldUse {
+		t.Fatalf("hot case use %d below cold total %d despite p=0.7", hotUse, coldUse)
+	}
+}
+
+func TestCallSiteExecutesHelper(t *testing.T) {
+	b := &Benchmark{
+		Name: "callprobe", Class: INT, Iters: 2000,
+		Sites: []Site{{Kind: SiteCall}},
+		Ref:   stationary([]float64{0}),
+		Train: stationary([]float64{0}),
+	}
+	img, tape, err := b.Build("ref", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper := img.Symbols["helper"]
+	blk, ok := snap.Blocks[helper]
+	if !ok || blk.Use != 2000 {
+		t.Fatalf("helper executed %v times, want 2000", blk)
+	}
+}
+
+func TestScaleReducesWork(t *testing.T) {
+	b := ByName("vortex")
+	img, tape, err := b.Build("ref", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, tape, err = b.Build("ref", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(big.Instructions) / float64(small.Instructions)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("instruction ratio %v for 2x scale, want ~2", ratio)
+	}
+}
+
+func TestTargetAdapter(t *testing.T) {
+	tgt := ByName("swim").Target(0.0005)
+	if tgt.Name != "swim" {
+		t.Fatalf("target name %q", tgt.Name)
+	}
+	img, tape, err := tgt.Build("ref")
+	if err != nil || img == nil || tape == nil {
+		t.Fatalf("target build failed: %v", err)
+	}
+}
+
+var sinkTape interp.Tape
+
+func BenchmarkBuildMcf(b *testing.B) {
+	bench := ByName("mcf")
+	for i := 0; i < b.N; i++ {
+		_, tape, err := bench.Build("ref", 0.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkTape = tape
+	}
+}

@@ -1,0 +1,97 @@
+package study
+
+import (
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/spec"
+)
+
+// useWeights extracts per-address execution weights from a snapshot
+// (region frozen counts included), the inputs of the classical
+// comparators.
+func useWeights(s *profile.Snapshot) map[int]float64 {
+	w := make(map[int]float64, len(s.Blocks))
+	for addr, b := range s.Blocks {
+		w[addr] += float64(b.Use)
+	}
+	for _, r := range s.Regions {
+		for i := range r.Blocks {
+			w[r.Blocks[i].Addr] += float64(r.Blocks[i].Use)
+		}
+	}
+	return w
+}
+
+// TestClassicalComparatorsDegradeOnINIP validates the paper's section-2
+// argument for *why* it introduces the Sd metrics: the well-known
+// profile comparators that rely on relative execution order (Wall's
+// weight/key match, the overlapping percentage) cannot rank INIP(T)
+// blocks meaningfully, because every optimized block's count is frozen
+// in the narrow window [T, 2T] — while the same comparators consider the
+// training profile (whose counts ran to completion) an excellent
+// predictor.
+func TestClassicalComparatorsDegradeOnINIP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark runs")
+	}
+	b := spec.ByName("vortex")
+	scale := 0.1
+	img, tape, err := b.Build("ref", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avep, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgT, tapeT, err := b.Build("train", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := dbt.Run(imgT, tapeT, dbt.Config{Optimize: false, Input: "train"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, tape2, err := b.Build("ref", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inip, _, err := dbt.Run(img2, tape2, dbt.Config{Optimize: true, Threshold: 200, RegisterTwice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	act := useWeights(avep)
+	trainW := useWeights(train)
+	inipW := useWeights(inip)
+
+	const topN = 8
+	trainWeight := metrics.WeightMatch(trainW, act, topN)
+	inipWeight := metrics.WeightMatch(inipW, act, topN)
+	trainOverlap := metrics.OverlapPercentage(trainW, act)
+	inipOverlap := metrics.OverlapPercentage(inipW, act)
+
+	// The training profile ran to completion on a near-identical input:
+	// classical comparators adore it.
+	if trainWeight < 0.95 {
+		t.Fatalf("train weight match = %v, want ~1", trainWeight)
+	}
+	if trainOverlap < 0.9 {
+		t.Fatalf("train overlap = %v, want high", trainOverlap)
+	}
+	// INIP counts are compressed into [T, 2T]: a large share of the
+	// distribution mass is misplaced even though INIP predicts branch
+	// probabilities well.
+	if inipOverlap > trainOverlap-0.2 {
+		t.Fatalf("INIP overlap %v not clearly degraded vs train %v (the paper's inapplicability argument)",
+			inipOverlap, trainOverlap)
+	}
+	// And yet the Sd-based view shows INIP(200) predicting fine — that
+	// contrast is the reason the paper defines Sd.BP.
+	if inipWeight >= trainWeight && inipOverlap >= trainOverlap {
+		t.Fatal("classical comparators unexpectedly favour the initial profile")
+	}
+}

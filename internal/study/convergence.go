@@ -1,0 +1,149 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/spec"
+)
+
+// ConvergenceRow is one (benchmark, registration policy) evaluation:
+// how much profiling the policy spent and how accurate the resulting
+// initial profile is.
+type ConvergenceRow struct {
+	Name   string
+	Policy string
+	// OpsVsTrain normalizes profiling operations to the training run
+	// (the currency of Figure 18).
+	OpsVsTrain float64
+	SdBP       float64
+	BPMismatch float64
+}
+
+// ConvergenceResults holds the accuracy-per-profiling-cost comparison
+// between fixed retranslation thresholds and convergence-based
+// registration (the paper's section-5 threshold-selection heuristics).
+type ConvergenceResults struct {
+	Rows []ConvergenceRow
+}
+
+// RunConvergence evaluates fixed thresholds against convergence-based
+// registration on the given benchmarks (default: a stationary, a noisy
+// and a phased member).
+func RunConvergence(benchNames []string, scale float64) (*ConvergenceResults, error) {
+	if len(benchNames) == 0 {
+		benchNames = []string{"vortex", "crafty", "gzip"}
+	}
+	if scale <= 0 {
+		scale = 1.0
+	}
+	type policy struct {
+		label string
+		cfg   func() dbt.Config
+	}
+	fixed := func(paperT float64) policy {
+		return policy{
+			label: fmt.Sprintf("fixed T=%s", trimFloat(paperT)),
+			cfg: func() dbt.Config {
+				return dbt.Config{
+					Optimize: true, Threshold: EffectiveThreshold(paperT, scale), RegisterTwice: true,
+				}
+			},
+		}
+	}
+	converge := func(eps float64, capT float64) policy {
+		return policy{
+			label: fmt.Sprintf("converge eps=%g cap=%s", eps, trimFloat(capT)),
+			cfg: func() dbt.Config {
+				return dbt.Config{
+					Optimize: true, Threshold: EffectiveThreshold(capT, scale), RegisterTwice: true,
+					ConvergeRegister: true, ConvergeEpsilon: eps,
+				}
+			},
+		}
+	}
+	policies := []policy{
+		fixed(500), fixed(2000), fixed(10000),
+		converge(0.03, 40000), converge(0.015, 40000),
+	}
+
+	out := &ConvergenceResults{}
+	for _, name := range benchNames {
+		b := spec.ByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("study: unknown benchmark %q", name)
+		}
+		img, tape, err := b.Build("ref", scale)
+		if err != nil {
+			return nil, err
+		}
+		avep, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+		if err != nil {
+			return nil, err
+		}
+		imgT, tapeT, err := b.Build("train", scale)
+		if err != nil {
+			return nil, err
+		}
+		train, _, err := dbt.Run(imgT, tapeT, dbt.Config{Optimize: false, Input: "train"})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range policies {
+			img, tape, err := b.Build("ref", scale)
+			if err != nil {
+				return nil, err
+			}
+			snap, _, err := dbt.Run(img, tape, p.cfg())
+			if err != nil {
+				return nil, fmt.Errorf("study: %s %s: %w", name, p.label, err)
+			}
+			sum, _, err := core.Compare(snap, avep)
+			if err != nil {
+				return nil, err
+			}
+			row := ConvergenceRow{
+				Name: name, Policy: p.label,
+				SdBP: sum.SdBP, BPMismatch: sum.BPMismatch,
+			}
+			if train.ProfilingOps > 0 {
+				row.OpsVsTrain = float64(snap.ProfilingOps) / float64(train.ProfilingOps)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func trimFloat(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%gk", v/1e3)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// Render formats the convergence results as a text table.
+func (c *ConvergenceResults) Render() string {
+	var b strings.Builder
+	b.WriteString("threshold-selection heuristics: accuracy per unit of profiling work\n")
+	fmt.Fprintf(&b, "%-10s %-26s %12s %9s %10s\n", "bench", "policy", "ops/train", "Sd.BP", "mismatch")
+	prev := ""
+	for _, r := range c.Rows {
+		name := r.Name
+		if name == prev {
+			name = ""
+		} else if prev != "" {
+			b.WriteString("\n")
+		}
+		prev = r.Name
+		fmt.Fprintf(&b, "%-10s %-26s %12.4f %9.4f %9.1f%%\n",
+			name, r.Policy, r.OpsVsTrain, r.SdBP, r.BPMismatch*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/spec"
+)
+
+// ExtensionRow is one benchmark's fixed-vs-adaptive comparison in the
+// section-5 extension experiment.
+type ExtensionRow struct {
+	Name  string
+	Class spec.Class
+	// Side-exit rate per region entry, fixed vs adaptive translator.
+	FixedSideExitRate    float64
+	AdaptiveSideExitRate float64
+	// Dissolved regions in the adaptive run.
+	Dissolved int
+	// Simulated relative performance: fixed cycles / adaptive cycles
+	// (above 1 means adaptation pays off).
+	AdaptiveSpeedup float64
+	// Loop-back mismatch against AVEP with frozen counters vs with
+	// continuous trip-count collection.
+	FrozenLPMismatch     float64
+	ContinuousLPMismatch float64
+}
+
+// ExtensionResults holds the extension experiment's rows.
+type ExtensionResults struct {
+	Threshold uint64
+	Rows      []ExtensionRow
+}
+
+// RunExtensions executes the paper's section-5 proposals on the given
+// benchmarks (default: the phased members plus a stationary control) at
+// one retranslation threshold:
+//
+//   - adaptive retranslation: regions whose side-exit rate shows a
+//     behaviour change are dissolved and rebuilt from fresh profiles;
+//   - continuous trip-count profiling: loop regions keep lightweight
+//     loop-back instrumentation alive, replacing the frozen trip-count
+//     prediction.
+func RunExtensions(benchNames []string, scale float64, paperT float64) (*ExtensionResults, error) {
+	if len(benchNames) == 0 {
+		benchNames = []string{"mcf", "gzip", "crafty", "wupwise", "vortex"}
+	}
+	if scale <= 0 {
+		scale = 1.0
+	}
+	if paperT <= 0 {
+		paperT = 2000
+	}
+	threshold := EffectiveThreshold(paperT, scale)
+	out := &ExtensionResults{Threshold: threshold}
+	for _, name := range benchNames {
+		b := spec.ByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("study: unknown benchmark %q", name)
+		}
+		row := ExtensionRow{Name: b.Name, Class: b.Class}
+
+		img, tape, err := b.Build("ref", scale)
+		if err != nil {
+			return nil, err
+		}
+		avep, _, err := dbt.Run(img, tape, dbt.Config{Optimize: false})
+		if err != nil {
+			return nil, err
+		}
+
+		type variant struct {
+			adaptive   bool
+			continuous bool
+		}
+		run := func(v variant) (metrics.Summary, *dbt.RunStats, error) {
+			img, tape, err := b.Build("ref", scale)
+			if err != nil {
+				return metrics.Summary{}, nil, err
+			}
+			cfg := dbt.Config{
+				Optimize: true, Threshold: threshold, RegisterTwice: true,
+				Adaptive:            v.adaptive,
+				ContinuousTripCount: v.continuous,
+				Perf:                perfmodel.NewAccumulator(perfmodel.DefaultParams()),
+			}
+			snap, stats, err := dbt.Run(img, tape, cfg)
+			if err != nil {
+				return metrics.Summary{}, nil, err
+			}
+			sum, _, err := core.Compare(snap, avep)
+			return sum, stats, err
+		}
+
+		fixedSum, fixedStats, err := run(variant{})
+		if err != nil {
+			return nil, fmt.Errorf("study: %s fixed: %w", name, err)
+		}
+		_, adaptStats, err := run(variant{adaptive: true})
+		if err != nil {
+			return nil, fmt.Errorf("study: %s adaptive: %w", name, err)
+		}
+		contSum, _, err := run(variant{continuous: true})
+		if err != nil {
+			return nil, fmt.Errorf("study: %s continuous: %w", name, err)
+		}
+
+		if fixedStats.RegionEntries > 0 {
+			row.FixedSideExitRate = float64(fixedStats.RegionSideExits) / float64(fixedStats.RegionEntries)
+		}
+		if adaptStats.RegionEntries > 0 {
+			row.AdaptiveSideExitRate = float64(adaptStats.RegionSideExits) / float64(adaptStats.RegionEntries)
+		}
+		row.Dissolved = adaptStats.RegionsDissolved
+		if adaptStats.Cycles > 0 {
+			row.AdaptiveSpeedup = fixedStats.Cycles / adaptStats.Cycles
+		}
+		row.FrozenLPMismatch = fixedSum.LPMismatch
+		row.ContinuousLPMismatch = contSum.LPMismatch
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the extension results as a text table.
+func (e *ExtensionResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "section-5 extensions at T=%d: adaptive retranslation and continuous trip counts\n", e.Threshold)
+	fmt.Fprintf(&b, "%-10s %-6s %14s %14s %10s %9s %12s %12s\n",
+		"bench", "class", "sideExit(fix)", "sideExit(ada)", "dissolved", "speedup", "lpMis(froz)", "lpMis(cont)")
+	for _, r := range e.Rows {
+		fmt.Fprintf(&b, "%-10s %-6s %14.3f %14.3f %10d %9.3f %12.1f%% %12.1f%%\n",
+			r.Name, r.Class, r.FixedSideExitRate, r.AdaptiveSideExitRate,
+			r.Dissolved, r.AdaptiveSpeedup,
+			r.FrozenLPMismatch*100, r.ContinuousLPMismatch*100)
+	}
+	return b.String()
+}

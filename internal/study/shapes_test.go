@@ -1,0 +1,139 @@
+package study
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestPaperShapes asserts the paper's qualitative stories on a reduced
+// study: the trends that Figures 8-18 exist to show. It runs a subset
+// of the suite at scale 0.05, which keeps the stories' mechanisms
+// intact (phase boundaries, freeze windows and run lengths shrink
+// together) at reduced resolution.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduced study still takes tens of seconds")
+	}
+	names := []string{"gzip", "mcf", "vortex", "perlbmk", "swim", "wupwise", "lucas"}
+	var benches []*spec.Benchmark
+	for _, n := range names {
+		benches = append(benches, spec.ByName(n))
+	}
+	res, err := Run(Config{Scale: 0.05, Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	last := len(res.PaperT) - 1
+
+	t.Run("stationary benchmarks predict well at small T", func(t *testing.T) {
+		// At scale 0.05 a paper threshold of 2000 means 100 actual
+		// samples, the paper's smallest window; below that the reduced
+		// scale inflates sampling noise beyond anything the paper saw.
+		for _, name := range []string{"vortex", "swim"} {
+			s := res.ByName(name)
+			first := s.PerT[res.tIndex(2000)]
+			if first.Summary.SdBP > 0.08 {
+				t.Errorf("%s Sd.BP(2000) = %v, want small (stationary)", name, first.Summary.SdBP)
+			}
+		}
+	})
+
+	t.Run("mcf is poorly predicted at every threshold", func(t *testing.T) {
+		s := res.ByName("mcf")
+		for i, tr := range s.PerT {
+			if res.PaperT[i] >= 100 && res.PaperT[i] <= 160000 {
+				if tr.Summary.SdBP < 0.1 {
+					t.Errorf("mcf Sd.BP(%v) = %v, want persistently high", res.PaperT[i], tr.Summary.SdBP)
+				}
+			}
+		}
+		if s.Train.SdBP > s.PerT[res.tIndex(100)].Summary.SdBP {
+			t.Error("mcf train profile should beat its initial profile")
+		}
+	})
+
+	t.Run("perlbmk train input predicts terribly, INIP well", func(t *testing.T) {
+		s := res.ByName("perlbmk")
+		if s.Train.BPMismatch < 0.3 {
+			t.Errorf("perlbmk train mismatch = %v, want ~50%%", s.Train.BPMismatch)
+		}
+		inip := s.PerT[res.tIndex(200)]
+		if inip.Summary.BPMismatch > 0.1 {
+			t.Errorf("perlbmk INIP(200) mismatch = %v, want tiny", inip.Summary.BPMismatch)
+		}
+	})
+
+	t.Run("gzip mismatch drops after the early phase", func(t *testing.T) {
+		s := res.ByName("gzip")
+		early := s.PerT[res.tIndex(100)].Summary.BPMismatch
+		late := s.PerT[res.tIndex(20000)].Summary.BPMismatch
+		if early <= late {
+			t.Errorf("gzip mismatch: early %v vs late %v, want early > late", early, late)
+		}
+	})
+
+	t.Run("wupwise mispredicted until its late flip", func(t *testing.T) {
+		s := res.ByName("wupwise")
+		mid := s.PerT[res.tIndex(5000)].Summary.BPMismatch
+		end := s.PerT[last].Summary.BPMismatch
+		if mid < 0.1 {
+			t.Errorf("wupwise mismatch at 5k = %v, want high", mid)
+		}
+		if end > mid/2 {
+			t.Errorf("wupwise mismatch at top of ladder = %v, want resolved (mid %v)", end, mid)
+		}
+	})
+
+	t.Run("profiling ops grow with T and undercut the training run", func(t *testing.T) {
+		fig := res.Figure18()
+		for _, series := range fig.Series {
+			if series.Label == "train" {
+				continue
+			}
+			if series.Y[0] > 0.3 {
+				t.Errorf("%s normalized ops at smallest T = %v, want far below train", series.Label, series.Y[0])
+			}
+			for i := 1; i < len(series.Y); i++ {
+				if series.Y[i]+1e-9 < series.Y[i-1] {
+					t.Errorf("%s normalized ops not monotone: %v", series.Label, series.Y)
+					break
+				}
+			}
+		}
+	})
+
+	t.Run("performance peaks at an intermediate threshold", func(t *testing.T) {
+		fig := res.Figure17()
+		var intSeries Series
+		for _, s := range fig.Series {
+			if s.Label == "int" {
+				intSeries = s
+			}
+		}
+		if intSeries.Y[0] != 1 {
+			t.Fatalf("fig17 base not 1: %v", intSeries.Y[0])
+		}
+		best, bestIdx := 0.0, 0
+		for i, v := range intSeries.Y {
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+		if bestIdx == 0 || bestIdx == len(intSeries.Y)-1 {
+			t.Errorf("fig17 int peak at edge (idx %d): %v", bestIdx, intSeries.Y)
+		}
+		if last := intSeries.Y[len(intSeries.Y)-1]; last >= best {
+			t.Errorf("fig17: very large thresholds should be worse than the peak (%v vs %v)", last, best)
+		}
+	})
+
+	t.Run("loop regions and traces actually form", func(t *testing.T) {
+		s := res.ByName("mcf")
+		tr := s.PerT[res.tIndex(1000)]
+		if tr.Summary.Loops == 0 || tr.Summary.Traces == 0 {
+			t.Errorf("mcf INIP(1000) has %d loops, %d traces; want both > 0", tr.Summary.Loops, tr.Summary.Traces)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package study orchestrates the full reproduction: it sweeps the
+// retranslation-threshold ladder over the synthetic SPEC2000 suite and
+// derives the data behind every figure of the paper's evaluation
+// (Figures 8-18).
+//
+// All thresholds are specified in paper units and scaled — together with
+// benchmark lengths and phase boundaries — by a single Scale factor.
+// Because every reported quantity is a probability, a normalized count,
+// or a ratio of cycle totals, uniform scaling preserves the figures'
+// shapes while keeping runs laptop-sized.
+package study
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/spec"
+)
+
+// PaperThresholds is the threshold ladder of the accuracy figures
+// (Figures 8-16, 18), in paper units.
+var PaperThresholds = []float64{100, 200, 500, 1e3, 2e3, 5e3, 1e4, 2e4, 4e4, 8e4, 16e4, 1e6, 4e6}
+
+// AllThresholds extends the ladder with the small values of the
+// performance figure (Figure 17), whose base is T=1.
+var AllThresholds = append([]float64{1, 50}, PaperThresholds...)
+
+// Config controls a study run.
+type Config struct {
+	// Scale multiplies paper-unit thresholds, run lengths and phase
+	// boundaries. The default of 1.0 runs the paper's actual threshold
+	// ladder (benchmark run lengths are already laptop-sized, see
+	// package spec); smaller values trade sampling fidelity at the
+	// bottom of the ladder for speed.
+	Scale float64
+	// Thresholds is the paper-unit ladder (default AllThresholds).
+	Thresholds []float64
+	// Benchmarks selects the suite subset (default spec.Suite()).
+	Benchmarks []*spec.Benchmark
+	// PoolTrigger passes through to the translator.
+	PoolTrigger int
+	// Parallelism bounds concurrent benchmark runs (default NumCPU).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed
+	// benchmark.
+	Progress io.Writer
+}
+
+func (c *Config) defaults() {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = AllThresholds
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = spec.Suite()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+}
+
+// EffectiveThreshold converts a paper-unit threshold to the scaled value
+// actually passed to the translator (minimum 1).
+func EffectiveThreshold(paperT, scale float64) uint64 {
+	v := paperT * scale
+	if v < 1 {
+		return 1
+	}
+	return uint64(v + 0.5)
+}
+
+// BenchmarkSeries is one benchmark's complete sweep.
+type BenchmarkSeries struct {
+	Name  string
+	Class spec.Class
+	// Train is the INIP(train)-vs-AVEP comparison.
+	Train metrics.Summary
+	// TrainRegions adds offline-formed regions to the training profile
+	// (section-5 future work): Sd.CP(train)/Sd.LP(train) references.
+	TrainRegions metrics.Summary
+	// TrainOps is the training run's profiling-operation total.
+	TrainOps uint64
+	// AVEPCycles is the cycle cost with optimization disabled.
+	AVEPCycles float64
+	// PerT is indexed like Results.PaperT.
+	PerT []core.ThresholdResult
+}
+
+// Results is the study output.
+type Results struct {
+	Scale  float64
+	PaperT []float64
+	Series []BenchmarkSeries
+}
+
+// Run executes the study.
+func Run(cfg Config) (*Results, error) {
+	cfg.defaults()
+	paperT := append([]float64(nil), cfg.Thresholds...)
+	sort.Float64s(paperT)
+	thresholds := make([]uint64, len(paperT))
+	for i, pt := range paperT {
+		thresholds[i] = EffectiveThreshold(pt, cfg.Scale)
+	}
+
+	res := &Results{Scale: cfg.Scale, PaperT: paperT, Series: make([]BenchmarkSeries, len(cfg.Benchmarks))}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, cfg.Parallelism)
+	for i, b := range cfg.Benchmarks {
+		wg.Add(1)
+		go func(i int, b *spec.Benchmark) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opts := core.Options{
+				Thresholds:  thresholds,
+				PoolTrigger: cfg.PoolTrigger,
+				Perf:        true,
+			}
+			out, err := core.RunBenchmark(b.Target(cfg.Scale), opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("study: %s: %w", b.Name, err)
+				}
+				return
+			}
+			res.Series[i] = BenchmarkSeries{
+				Name:         b.Name,
+				Class:        b.Class,
+				Train:        out.Train,
+				TrainRegions: out.TrainRegions,
+				TrainOps:     out.TrainOps,
+				AVEPCycles:   out.AVEPCycles,
+				PerT:         out.Results,
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "done %-8s (%s): train Sd.BP=%.3f mismatch=%.1f%%\n",
+					b.Name, b.Class, out.Train.SdBP, out.Train.BPMismatch*100)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// ByName returns the series of the named benchmark, or nil.
+func (r *Results) ByName(name string) *BenchmarkSeries {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// classIndexes returns the series indexes belonging to the class.
+func (r *Results) classIndexes(c spec.Class) []int {
+	var out []int
+	for i := range r.Series {
+		if r.Series[i].Class == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// tIndex locates a paper threshold in the ladder, or -1.
+func (r *Results) tIndex(paperT float64) int {
+	for i, t := range r.PaperT {
+		if t == paperT {
+			return i
+		}
+	}
+	return -1
+}
+
+// avgOver averages f over the class's benchmarks at each threshold
+// index in keep.
+func (r *Results) avgOver(c spec.Class, keep []int, f func(*core.ThresholdResult, *BenchmarkSeries) float64) []float64 {
+	idxs := r.classIndexes(c)
+	out := make([]float64, len(keep))
+	for k, ti := range keep {
+		sum := 0.0
+		for _, bi := range idxs {
+			s := &r.Series[bi]
+			sum += f(&s.PerT[ti], s)
+		}
+		if len(idxs) > 0 {
+			out[k] = sum / float64(len(idxs))
+		}
+	}
+	return out
+}
+
+// avgTrain averages a train-summary metric over the class.
+func (r *Results) avgTrain(c spec.Class, f func(metrics.Summary) float64) float64 {
+	idxs := r.classIndexes(c)
+	if len(idxs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, bi := range idxs {
+		sum += f(r.Series[bi].Train)
+	}
+	return sum / float64(len(idxs))
+}
+
+// avgTrainRegions averages a metric of the offline-region train
+// comparison (Sd.CP(train)/Sd.LP(train)) over the class.
+func (r *Results) avgTrainRegions(c spec.Class, f func(metrics.Summary) float64) float64 {
+	idxs := r.classIndexes(c)
+	if len(idxs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, bi := range idxs {
+		sum += f(r.Series[bi].TrainRegions)
+	}
+	return sum / float64(len(idxs))
+}

@@ -1,0 +1,144 @@
+// Package textplot renders threshold-sweep series as text tables and
+// ASCII line charts for the study binaries. It is deliberately generic:
+// callers pass x values and labelled y series.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled line.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// formatX renders a paper-unit threshold compactly (1k, 4M, ...).
+func formatX(x float64) string {
+	switch {
+	case x >= 1e6 && math.Mod(x, 1e6) == 0:
+		return fmt.Sprintf("%gM", x/1e6)
+	case x >= 1e3 && math.Mod(x, 1e3) == 0:
+		return fmt.Sprintf("%gk", x/1e3)
+	default:
+		return fmt.Sprintf("%g", x)
+	}
+}
+
+// Table renders the series as a fixed-width table with one row per x
+// value and one column per series.
+func Table(xLabel string, x []float64, series []Series) string {
+	var b strings.Builder
+	colW := 12
+	for _, s := range series {
+		if len(s.Label)+2 > colW {
+			colW = len(s.Label) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-10s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%*s", colW, s.Label)
+	}
+	b.WriteByte('\n')
+	for i := range x {
+		fmt.Fprintf(&b, "%-10s", formatX(x[i]))
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%*.4f", colW, s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%*s", colW, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders an ASCII line chart: the x axis indexes the thresholds
+// (log-like spacing comes for free since ladders are geometric), the y
+// axis spans [min, max] of the data. Each series plots with its own
+// glyph; a legend follows.
+func Chart(x []float64, series []Series, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	if len(x) == 0 || len(series) == 0 {
+		return "(no data)\n"
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return "(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~', '^', '$'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plotCol := func(i int) int {
+		if len(x) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(x) - 1)
+	}
+	plotRow := func(v float64) int {
+		frac := (v - minY) / (maxY - minY)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		prevCol, prevRow := -1, -1
+		for i, v := range s.Y {
+			if i >= len(x) {
+				break
+			}
+			c, r := plotCol(i), plotRow(v)
+			// Connect to the previous point with a sparse line.
+			if prevCol >= 0 && c > prevCol+1 {
+				for cc := prevCol + 1; cc < c; cc++ {
+					rr := prevRow + (r-prevRow)*(cc-prevCol)/(c-prevCol)
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			grid[r][c] = g
+			prevCol, prevRow = c, r
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.4f |%s|\n", maxY, strings.Repeat("-", width))
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%8s |%s|\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8.4f |%s|\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s%s .. %s\n", "x: ", formatX(x[0]), formatX(x[len(x)-1]))
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s%c = %s\n", "", glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}

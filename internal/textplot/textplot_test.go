@@ -1,0 +1,102 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	out := Table("T", []float64{100, 1000, 4e6}, []Series{
+		{Label: "int", Y: []float64{0.17, 0.14, 0.01}},
+		{Label: "fp", Y: []float64{0.05, 0.04, 0.001}},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "int") || !strings.Contains(lines[0], "fp") {
+		t.Fatalf("header missing labels: %q", lines[0])
+	}
+	for _, want := range []string{"100", "1k", "4M"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing x value %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "0.1700") {
+		t.Fatalf("table missing formatted value:\n%s", out)
+	}
+}
+
+func TestTableShortSeries(t *testing.T) {
+	out := Table("T", []float64{1, 2}, []Series{{Label: "s", Y: []float64{0.5}}})
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for short series:\n%s", out)
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		50:      "50",
+		100:     "100",
+		1000:    "1k",
+		2000:    "2k",
+		160000:  "160k",
+		1e6:     "1M",
+		4e6:     "4M",
+		1234:    "1234",
+		2500000: "2500k",
+	}
+	for x, want := range cases {
+		if got := formatX(x); got != want {
+			t.Errorf("formatX(%v) = %q, want %q", x, got, want)
+		}
+	}
+}
+
+func TestChartContainsGlyphsAndLegend(t *testing.T) {
+	out := Chart([]float64{100, 1000, 10000}, []Series{
+		{Label: "alpha", Y: []float64{0.1, 0.5, 0.9}},
+		{Label: "beta", Y: []float64{0.9, 0.5, 0.1}},
+	}, 40, 10)
+	if !strings.Contains(out, "* = alpha") || !strings.Contains(out, "o = beta") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.9000") || !strings.Contains(out, "0.1000") {
+		t.Fatalf("y-axis bounds missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := Chart(nil, nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	if out := Chart([]float64{1}, []Series{{Label: "x", Y: nil}}, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty series output: %q", out)
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	out := Chart([]float64{1, 2}, []Series{{Label: "c", Y: []float64{0.5, 0.5}}}, 40, 8)
+	if !strings.Contains(out, "c") {
+		t.Fatalf("flat chart broken:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart([]float64{100}, []Series{{Label: "p", Y: []float64{0.7}}}, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartTinyDimensionsClamped(t *testing.T) {
+	out := Chart([]float64{1, 2, 3}, []Series{{Label: "s", Y: []float64{1, 2, 3}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("clamped chart empty")
+	}
+}
