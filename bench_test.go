@@ -345,25 +345,64 @@ func BenchmarkEndToEndBenchmark(b *testing.B) {
 }
 
 // BenchmarkTranslatorThroughput measures raw translator block execution
-// speed (no optimization), the simulator substrate's cost driver.
+// speed (no optimization), the simulator substrate's cost driver, with
+// the pre-lowered fast path on (the default) and off (every block
+// dispatched through interp.Exec).
 func BenchmarkTranslatorThroughput(b *testing.B) {
 	bench := spec.ByName("swim")
 	img, _, err := bench.Build("ref", benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	var instrs uint64
-	for i := 0; i < b.N; i++ {
-		_, stats, err := dbt.Run(img, interp.NewUniformTape("swim/ref"), dbt.Config{Optimize: false})
-		if err != nil {
-			b.Fatal(err)
-		}
-		instrs += stats.Instructions
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fast", false}, {"generic", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := dbt.Run(img, interp.NewUniformTape("swim/ref"), dbt.Config{
+					Optimize:        false,
+					DisableFastPath: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += stats.Instructions
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+			}
+		})
 	}
-	b.StopTimer()
-	if b.Elapsed() > 0 {
-		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkThresholdLadder measures a full reference sweep (AVEP plus a
+// five-threshold INIP ladder) over one benchmark, comparing the
+// shared-trace execution (one guest run feeding every profiling
+// context) with independent per-threshold runs.
+func BenchmarkThresholdLadder(b *testing.B) {
+	bench := spec.ByName("vortex")
+	thresholds := make([]uint64, 0, 5)
+	for _, pt := range []float64{100, 1e3, 1e4, 1e5, 1e6} {
+		thresholds = append(thresholds, study.EffectiveThreshold(pt, benchScale))
+	}
+	for _, mode := range []struct {
+		name        string
+		independent bool
+	}{{"shared", false}, {"independent", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunBenchmark(bench.Target(benchScale), core.Options{
+					Thresholds:      thresholds,
+					Workers:         1,
+					IndependentRuns: mode.independent,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

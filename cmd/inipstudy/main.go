@@ -15,12 +15,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/spec"
 	"repro/internal/study"
 	"repro/internal/textplot"
 )
+
+// benchReport is the schema of the -benchjson perf record, kept in the
+// repository (BENCH_study.json) so successive changes have a measured
+// trajectory to compare against.
+type benchReport struct {
+	Date       string  `json:"date"`
+	Scale      float64 `json:"scale"`
+	Benchmarks int     `json:"benchmarks"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	study.Perf
+	// BaselineWallSeconds/Speedup are filled when -benchbase supplies
+	// the wall-clock of a reference binary over the same invocation.
+	BaselineWallSeconds float64 `json:"baseline_wall_seconds,omitempty"`
+	Speedup             float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+func writeBenchJSON(path string, res *study.Results, nbench int, base float64) error {
+	rep := benchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Scale:      res.Scale,
+		Benchmarks: nbench,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Perf:       res.Perf,
+	}
+	if base > 0 && rep.WallSeconds > 0 {
+		rep.BaselineWallSeconds = base
+		rep.Speedup = base / rep.WallSeconds
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	var (
@@ -34,6 +70,11 @@ func main() {
 		ext     = flag.Bool("ext", false, "run the section-5 extension experiment instead of the figures")
 		extT    = flag.Float64("extT", 2000, "paper-unit threshold for -ext")
 		conv    = flag.Bool("conv", false, "run the threshold-selection (convergence) experiment instead of the figures")
+
+		benchJSON = flag.String("benchjson", "", "write suite wall-clock, blocks/sec and per-phase timing to this file")
+		benchBase = flag.Float64("benchbase", 0, "baseline wall-clock seconds to compute speedup against in -benchjson")
+		indep     = flag.Bool("indep", false, "run each INIP(T) independently instead of replaying the shared reference trace")
+		par       = flag.Int("par", 0, "worker-pool size for run units (default: NumCPU)")
 	)
 	flag.Parse()
 
@@ -65,7 +106,7 @@ func main() {
 		return
 	}
 
-	cfg := study.Config{Scale: *scale}
+	cfg := study.Config{Scale: *scale, IndependentRuns: *indep, Parallelism: *par}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
@@ -84,6 +125,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *benchJSON != "" {
+		nbench := len(cfg.Benchmarks)
+		if nbench == 0 {
+			nbench = len(spec.Suite())
+		}
+		if err := writeBenchJSON(*benchJSON, res, nbench, *benchBase); err != nil {
+			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (wall %.1fs, %.2fM blocks/s)\n",
+			*benchJSON, res.Perf.WallSeconds, res.Perf.BlocksPerSec/1e6)
 	}
 
 	if *asMD != "" {

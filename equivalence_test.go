@@ -1,0 +1,153 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/interp"
+	"repro/internal/spec"
+)
+
+// equivalenceScale keeps the full-suite cross-validation fast while
+// still exercising millions of dynamic blocks per benchmark class.
+const equivalenceScale = 0.02
+
+// edgeKey identifies one control-flow edge between block entries.
+type edgeKey struct{ from, to int }
+
+// TestFastPathMatchesReferenceInterpreter runs every synthetic SPEC
+// benchmark through the translator's pre-lowered fast path and through
+// the reference interpreter, and asserts identical final architectural
+// state, instruction/block counts, and per-block use/taken profiling
+// counters (reconstructed from the interpreter's block-entry sequence).
+func TestFastPathMatchesReferenceInterpreter(t *testing.T) {
+	for _, b := range spec.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, input := range []string{"ref", "train"} {
+				img, tape, err := b.Build(input, equivalenceScale)
+				if err != nil {
+					t.Fatalf("build %s: %v", input, err)
+				}
+				m, err := interp.NewMachine(img, tape)
+				if err != nil {
+					t.Fatalf("NewMachine: %v", err)
+				}
+				entries := make(map[int]uint64)
+				edges := make(map[edgeKey]uint64)
+				prev := -1
+				m.BlockHook = func(pc int) {
+					entries[pc]++
+					if prev >= 0 {
+						edges[edgeKey{prev, pc}]++
+					}
+					prev = pc
+				}
+				if err := m.Run(); err != nil {
+					t.Fatalf("machine run (%s): %v", input, err)
+				}
+
+				img2, tape2, err := b.Build(input, equivalenceScale)
+				if err != nil {
+					t.Fatalf("rebuild %s: %v", input, err)
+				}
+				eng, err := dbt.New(img2, tape2, dbt.Config{Input: input})
+				if err != nil {
+					t.Fatalf("dbt.New: %v", err)
+				}
+				snap, stats, err := eng.Run()
+				if err != nil {
+					t.Fatalf("dbt run (%s): %v", input, err)
+				}
+
+				// Final architectural state must be bit-identical.
+				mst, dst := m.State(), eng.State()
+				if mst.Regs != dst.Regs {
+					t.Fatalf("%s: registers diverge\ninterp: %v\n   dbt: %v", input, mst.Regs, dst.Regs)
+				}
+				if !reflect.DeepEqual(mst.Mem, dst.Mem) {
+					t.Fatalf("%s: memory diverges", input)
+				}
+				if !reflect.DeepEqual(mst.Ret, dst.Ret) {
+					t.Fatalf("%s: return stacks diverge: %v vs %v", input, mst.Ret, dst.Ret)
+				}
+				if m.Steps() != stats.Instructions {
+					t.Fatalf("%s: instruction counts diverge: interp %d, dbt %d", input, m.Steps(), stats.Instructions)
+				}
+				if m.Blocks() != stats.BlocksExecuted {
+					t.Fatalf("%s: block counts diverge: interp %d, dbt %d", input, m.Blocks(), stats.BlocksExecuted)
+				}
+
+				// Per-block profiling counters: the unoptimized run never
+				// freezes, so every block's use count must equal the
+				// interpreter's entry count at that address, and its
+				// taken count the number of times the taken edge fired.
+				for addr, blk := range snap.Blocks {
+					if blk.Use != entries[addr] {
+						t.Errorf("%s: block %d use=%d, interpreter entered it %d times", input, addr, blk.Use, entries[addr])
+					}
+					var wantTaken uint64
+					if blk.HasBranch {
+						wantTaken = edges[edgeKey{addr, blk.TakenTarget}]
+					}
+					if blk.Taken != wantTaken {
+						t.Errorf("%s: block %d taken=%d, want %d", input, addr, blk.Taken, wantTaken)
+					}
+				}
+				// And nothing entered by the interpreter is missing from
+				// the profile.
+				for addr, n := range entries {
+					if snap.Blocks[addr] == nil {
+						t.Errorf("%s: interpreter entered block %d (%d times) missing from snapshot", input, addr, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathMatchesGenericDispatch re-runs the suite's reference
+// input with the fast path disabled and asserts the generic interp.Exec
+// dispatch produces the identical snapshot under a full optimizing
+// configuration (thresholds, freezing, regions and the perf model all
+// active).
+func TestFastPathMatchesGenericDispatch(t *testing.T) {
+	for _, b := range spec.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func(disable bool) *struct {
+				snap  interface{}
+				stats dbt.RunStats
+			} {
+				img, tape, err := b.Build("ref", equivalenceScale)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				snap, stats, err := dbt.Run(img, tape, dbt.Config{
+					Input:           "ref",
+					Threshold:       100,
+					Optimize:        true,
+					RegisterTwice:   true,
+					DisableFastPath: disable,
+				})
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return &struct {
+					snap  interface{}
+					stats dbt.RunStats
+				}{snap, *stats}
+			}
+			fast, slow := run(false), run(true)
+			if !reflect.DeepEqual(fast.snap, slow.snap) {
+				t.Fatalf("fast-path snapshot differs from generic dispatch")
+			}
+			if !reflect.DeepEqual(fast.stats, slow.stats) {
+				t.Fatalf("fast-path stats differ: %+v vs %+v", fast.stats, slow.stats)
+			}
+		})
+	}
+}

@@ -51,7 +51,7 @@ func TestCharacterizeEndToEndPhasedVsStationary(t *testing.T) {
 	// systematic; the stationary program should have (nearly) no
 	// systematic mispredictions.
 	phased := BuildFromAsm("phased", phasedSrc(60000, 15000, 7782, 819))
-	res, err := RunBenchmark(phased, Options{Thresholds: []uint64{500}})
+	res, err := RunBenchmark(phased, Options{Thresholds: []uint64{500}, KeepNormalized: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestCharacterizeEndToEndPhasedVsStationary(t *testing.T) {
 	}
 
 	stationary := BuildFromAsm("stationary", stationarySrc(60000, 6144))
-	res2, err := RunBenchmark(stationary, Options{Thresholds: []uint64{500}})
+	res2, err := RunBenchmark(stationary, Options{Thresholds: []uint64{500}, KeepNormalized: true})
 	if err != nil {
 		t.Fatal(err)
 	}

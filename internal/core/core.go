@@ -9,6 +9,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dbt"
 	"repro/internal/guest"
@@ -28,6 +31,12 @@ import (
 type Target struct {
 	Name  string
 	Build func(input string) (*guest.Image, interp.Tape, error)
+	// NewTape, when non-nil, returns a fresh tape equivalent to the one
+	// Build yields for the same input. Images are read-only at run time,
+	// so the scheduler then builds each input once and hands every run
+	// the shared image with its own tape; without it, extra runs of the
+	// same input fall back to a full Build.
+	NewTape func(input string) (interp.Tape, error)
 }
 
 // Compare evaluates an initial profile against an average profile and
@@ -83,6 +92,37 @@ type Options struct {
 	// KeepSnapshots retains the per-threshold INIP snapshots in the
 	// result (memory-heavy; used by the offline tools).
 	KeepSnapshots bool
+	// KeepNormalized retains the full per-threshold *navep.Result. The
+	// figure generators only read Summary/ops/cycles, so the study
+	// leaves this off; tools that inspect per-block normalized rows turn
+	// it on.
+	KeepNormalized bool
+	// IndependentRuns forces every INIP(T) run to execute the guest
+	// itself instead of replaying the shared reference trace
+	// (dbt.RunMulti). Results are identical either way — the shared
+	// trace exists purely to avoid re-executing the same instruction
+	// stream once per threshold — so this is a cross-check and
+	// measurement knob.
+	IndependentRuns bool
+	// Workers bounds RunBenchmark's own scheduler when it is not given
+	// one (default GOMAXPROCS).
+	Workers int
+	// Timing, when non-nil, accumulates per-phase durations and run
+	// volume across all units of the benchmark.
+	Timing *Timing
+}
+
+// Timing aggregates where a study's wall-clock went. Durations are
+// summed across concurrently-running units, so on a multicore box the
+// phase totals add up to more than the elapsed wall time.
+type Timing struct {
+	Build     atomic.Int64 // ns spent building images/tapes
+	RefRuns   atomic.Int64 // ns executing reference-input runs (AVEP + INIP ladder)
+	TrainRuns atomic.Int64 // ns executing training-input runs
+	Compare   atomic.Int64 // ns normalizing and computing metrics
+	// BlocksExecuted totals dynamic block executions over all run units
+	// (each profiling context counts its own pass over the trace).
+	BlocksExecuted atomic.Uint64
 }
 
 // ThresholdResult is the outcome of one INIP(T) run compared to AVEP.
@@ -138,79 +178,345 @@ func (o *Options) dbtConfig(input string, threshold uint64, optimize bool) dbt.C
 	return cfg
 }
 
-// RunBenchmark executes the full three-way study for one target: AVEP
-// and INIP(train) once, then INIP(T) for every threshold in the ladder.
-func RunBenchmark(t Target, opts Options) (*BenchmarkResult, error) {
+// buildCache builds each input of a target once. The first caller gets
+// the tape Build produced; later callers of the same input get the
+// shared (read-only) image with a fresh tape from Target.NewTape, or a
+// full rebuild when the target has no tape factory.
+type buildCache struct {
+	t       Target
+	mu      sync.Mutex
+	entries map[string]*buildEntry
+	builds  atomic.Int64 // Build invocations, for tests
+}
+
+type buildEntry struct {
+	once     sync.Once
+	img      *guest.Image
+	tape     interp.Tape
+	tapeUsed bool
+	err      error
+}
+
+func newBuildCache(t Target) *buildCache {
+	return &buildCache{t: t, entries: make(map[string]*buildEntry)}
+}
+
+func (c *buildCache) get(input string) (*guest.Image, interp.Tape, error) {
+	c.mu.Lock()
+	e := c.entries[input]
+	if e == nil {
+		e = &buildEntry{}
+		c.entries[input] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.builds.Add(1)
+		e.img, e.tape, e.err = c.t.Build(input)
+	})
+	if e.err != nil {
+		return nil, nil, fmt.Errorf("core: build %s/%s: %w", c.t.Name, input, e.err)
+	}
+	c.mu.Lock()
+	first := !e.tapeUsed
+	e.tapeUsed = true
+	c.mu.Unlock()
+	if first {
+		return e.img, e.tape, nil
+	}
+	if c.t.NewTape != nil {
+		tape, err := c.t.NewTape(input)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: build %s/%s: %w", c.t.Name, input, err)
+		}
+		return e.img, tape, nil
+	}
+	// No tape factory: tapes are stateful, so a fresh run needs a fresh
+	// build.
+	c.builds.Add(1)
+	img, tape, err := c.t.Build(input)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: build %s/%s: %w", c.t.Name, input, err)
+	}
+	return img, tape, err
+}
+
+// benchRun is the in-flight state of one scheduled benchmark: the AVEP
+// snapshot memo the comparison stages wait for, the training snapshot,
+// and the count of outstanding work items.
+type benchRun struct {
+	s      *Scheduler
+	t      Target
+	opts   Options
+	out    *BenchmarkResult
+	onDone func(*BenchmarkResult)
+	build  *buildCache
+
+	mu            sync.Mutex
+	avep          *profile.Snapshot // set once by the reference unit
+	train         *profile.Snapshot // set once by the training unit
+	trainCompared bool
+	remaining     int
+}
+
+// finishItem retires one work item; the last one reports the result.
+func (b *benchRun) finishItem() {
+	b.mu.Lock()
+	b.remaining--
+	done := b.remaining == 0
+	b.mu.Unlock()
+	if done && b.onDone != nil {
+		b.onDone(b.out)
+	}
+}
+
+// ScheduleBenchmark decomposes the three-way study of one target into
+// run units on the scheduler: the reference unit (AVEP — and, unless
+// IndependentRuns is set, the whole INIP ladder replayed over its
+// trace), the training unit, one comparison unit per threshold, and the
+// training comparison. onDone is called with the completed result; on
+// failure the scheduler records the first error instead.
+//
+// Dependencies are handled by spawning: the per-threshold comparisons
+// need the AVEP snapshot, so the reference unit schedules them after the
+// memo is filled; the training comparison runs inline in whichever of
+// the two run units finishes second. No unit ever holds a pool slot
+// while waiting, so the pipeline cannot deadlock at any pool size.
+func ScheduleBenchmark(s *Scheduler, t Target, opts Options, onDone func(*BenchmarkResult)) {
+	b := &benchRun{
+		s:      s,
+		t:      t,
+		opts:   opts,
+		out:    &BenchmarkResult{Name: t.Name, Results: make([]ThresholdResult, len(opts.Thresholds))},
+		onDone: onDone,
+		build:  newBuildCache(t),
+	}
+	// Work items: reference unit, training unit, training comparison,
+	// and one comparison per threshold.
+	b.remaining = len(opts.Thresholds) + 3
 	if t.Build == nil {
-		return nil, fmt.Errorf("core: target %q has no builder", t.Name)
+		s.Go(func() error { return fmt.Errorf("core: target %q has no builder", t.Name) })
+		return
 	}
-	out := &BenchmarkResult{Name: t.Name}
+	s.Go(b.refUnit)
+	s.Go(b.trainUnit)
+}
 
-	// AVEP: reference input, optimization off.
-	img, tape, err := t.Build("ref")
+// interruptedConfig attaches the scheduler's fail-fast channel.
+func (b *benchRun) dbtConfig(input string, threshold uint64, optimize bool) dbt.Config {
+	cfg := b.opts.dbtConfig(input, threshold, optimize)
+	cfg.Interrupt = b.s.Done()
+	return cfg
+}
+
+// refUnit produces the AVEP snapshot (and, in shared-trace mode, every
+// INIP(T) snapshot alongside it), then fans out the comparison units.
+func (b *benchRun) refUnit() error {
+	tm := b.opts.Timing
+	start := time.Now()
+	img, tape, err := b.build.get("ref")
 	if err != nil {
-		return nil, fmt.Errorf("core: build %s/ref: %w", t.Name, err)
+		return err
 	}
-	cfg := opts.dbtConfig("ref", 0, false)
-	avep, _, err := dbt.Run(img, tape, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: AVEP run of %s: %w", t.Name, err)
+	if tm != nil {
+		tm.Build.Add(int64(time.Since(start)))
 	}
-	out.AVEP = avep
+
+	avepCfg := b.dbtConfig("ref", 0, false)
+	if b.opts.IndependentRuns {
+		start = time.Now()
+		avep, stats, err := dbt.Run(img, tape, avepCfg)
+		if err != nil {
+			return fmt.Errorf("core: AVEP run of %s: %w", b.t.Name, err)
+		}
+		if tm != nil {
+			tm.RefRuns.Add(int64(time.Since(start)))
+			tm.BlocksExecuted.Add(stats.BlocksExecuted)
+		}
+		b.recordAVEP(avep, avepCfg)
+		for i, threshold := range b.opts.Thresholds {
+			i, threshold := i, threshold
+			b.s.Go(func() error { return b.inipUnit(i, threshold) })
+		}
+	} else {
+		cfgs := make([]dbt.Config, 0, len(b.opts.Thresholds)+1)
+		cfgs = append(cfgs, avepCfg)
+		for _, threshold := range b.opts.Thresholds {
+			cfgs = append(cfgs, b.dbtConfig("ref", threshold, true))
+		}
+		start = time.Now()
+		snaps, stats, err := dbt.RunMulti(img, tape, cfgs)
+		if err != nil {
+			return fmt.Errorf("core: reference runs of %s: %w", b.t.Name, err)
+		}
+		if tm != nil {
+			tm.RefRuns.Add(int64(time.Since(start)))
+			for _, st := range stats {
+				tm.BlocksExecuted.Add(st.BlocksExecuted)
+			}
+		}
+		b.recordAVEP(snaps[0], avepCfg)
+		for i := range b.opts.Thresholds {
+			i := i
+			snap, st, cfg := snaps[i+1], stats[i+1], cfgs[i+1]
+			b.s.Go(func() error { return b.compareUnit(i, snap, st, cfg) })
+		}
+	}
+	b.maybeCompareTrain()
+	b.finishItem()
+	return nil
+}
+
+// recordAVEP fills the once-per-benchmark memo the comparison stages
+// read. The write happens before any comparison unit is spawned, which
+// is what makes the lock-free reads in compareUnit safe.
+func (b *benchRun) recordAVEP(avep *profile.Snapshot, cfg dbt.Config) {
+	b.out.AVEP = avep
 	if cfg.Perf != nil {
-		out.AVEPCycles = cfg.Perf.Cycles
+		b.out.AVEPCycles = cfg.Perf.Cycles
 	}
+	b.mu.Lock()
+	b.avep = avep
+	b.mu.Unlock()
+}
 
-	// INIP(train): training input, optimization off.
-	img, tape, err = t.Build("train")
+// inipUnit runs one independent INIP(T) execution and compares it.
+func (b *benchRun) inipUnit(i int, threshold uint64) error {
+	tm := b.opts.Timing
+	start := time.Now()
+	img, tape, err := b.build.get("ref")
 	if err != nil {
-		return nil, fmt.Errorf("core: build %s/train: %w", t.Name, err)
+		return err
 	}
-	train, _, err := dbt.Run(img, tape, opts.dbtConfig("train", 0, false))
+	if tm != nil {
+		tm.Build.Add(int64(time.Since(start)))
+	}
+	cfg := b.dbtConfig("ref", threshold, true)
+	start = time.Now()
+	snap, stats, err := dbt.Run(img, tape, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: train run of %s: %w", t.Name, err)
+		return fmt.Errorf("core: INIP(%d) run of %s: %w", threshold, b.t.Name, err)
 	}
-	out.TrainOps = train.ProfilingOps
-	if out.Train, _, err = Compare(train, avep); err != nil {
-		return nil, fmt.Errorf("core: train comparison of %s: %w", t.Name, err)
+	if tm != nil {
+		tm.RefRuns.Add(int64(time.Since(start)))
+		tm.BlocksExecuted.Add(stats.BlocksExecuted)
+	}
+	return b.compareUnit(i, snap, stats, cfg)
+}
+
+// compareUnit evaluates one INIP(T) snapshot against the AVEP memo and
+// writes the i-th ladder entry (index-owned, no lock needed).
+func (b *benchRun) compareUnit(i int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config) error {
+	threshold := b.opts.Thresholds[i]
+	tm := b.opts.Timing
+	start := time.Now()
+	summary, norm, err := Compare(snap, b.out.AVEP)
+	if err != nil {
+		return fmt.Errorf("core: INIP(%d) comparison of %s: %w", threshold, b.t.Name, err)
+	}
+	if tm != nil {
+		tm.Compare.Add(int64(time.Since(start)))
+	}
+	tr := ThresholdResult{
+		T:            threshold,
+		Summary:      summary,
+		ProfilingOps: snap.ProfilingOps,
+		Stats:        *stats,
+	}
+	if b.opts.KeepNormalized {
+		tr.Normalized = norm
+	}
+	if cfg.Perf != nil {
+		tr.Cycles = cfg.Perf.Cycles
+	}
+	if b.opts.KeepSnapshots {
+		tr.Snapshot = snap
+	}
+	b.out.Results[i] = tr
+	b.finishItem()
+	return nil
+}
+
+// trainUnit runs INIP(train) and stores its snapshot for the training
+// comparison.
+func (b *benchRun) trainUnit() error {
+	tm := b.opts.Timing
+	start := time.Now()
+	img, tape, err := b.build.get("train")
+	if err != nil {
+		return err
+	}
+	if tm != nil {
+		tm.Build.Add(int64(time.Since(start)))
+	}
+	start = time.Now()
+	train, stats, err := dbt.Run(img, tape, b.dbtConfig("train", 0, false))
+	if err != nil {
+		return fmt.Errorf("core: train run of %s: %w", b.t.Name, err)
+	}
+	if tm != nil {
+		tm.TrainRuns.Add(int64(time.Since(start)))
+		tm.BlocksExecuted.Add(stats.BlocksExecuted)
+	}
+	b.out.TrainOps = train.ProfilingOps
+	b.mu.Lock()
+	b.train = train
+	b.mu.Unlock()
+	b.maybeCompareTrain()
+	b.finishItem()
+	return nil
+}
+
+// maybeCompareTrain runs the training comparison in whichever run unit
+// finishes second — at that point it already holds a pool slot, so the
+// work runs inline instead of being queued.
+func (b *benchRun) maybeCompareTrain() {
+	b.mu.Lock()
+	ready := b.avep != nil && b.train != nil && !b.trainCompared
+	if ready {
+		b.trainCompared = true
+	}
+	train := b.train
+	b.mu.Unlock()
+	if !ready {
+		return
+	}
+	if err := b.compareTrain(train); err != nil {
+		b.s.fail(err)
+		return
+	}
+	b.finishItem()
+}
+
+func (b *benchRun) compareTrain(train *profile.Snapshot) error {
+	tm := b.opts.Timing
+	start := time.Now()
+	var err error
+	if b.out.Train, _, err = Compare(train, b.out.AVEP); err != nil {
+		return fmt.Errorf("core: train comparison of %s: %w", b.t.Name, err)
 	}
 	// Offline region formation over the training profile: the paper's
 	// proposed extension for obtaining Sd.CP(train) and Sd.LP(train).
 	const trainRegionThreshold = 2000
 	trainWithRegions := region.WithOfflineRegions(train, trainRegionThreshold, region.Config{})
-	if out.TrainRegions, _, err = Compare(trainWithRegions, avep); err != nil {
-		return nil, fmt.Errorf("core: train region comparison of %s: %w", t.Name, err)
+	if b.out.TrainRegions, _, err = Compare(trainWithRegions, b.out.AVEP); err != nil {
+		return fmt.Errorf("core: train region comparison of %s: %w", b.t.Name, err)
 	}
+	if tm != nil {
+		tm.Compare.Add(int64(time.Since(start)))
+	}
+	return nil
+}
 
-	// INIP(T) ladder.
-	for _, threshold := range opts.Thresholds {
-		img, tape, err = t.Build("ref")
-		if err != nil {
-			return nil, fmt.Errorf("core: build %s/ref: %w", t.Name, err)
-		}
-		cfg := opts.dbtConfig("ref", threshold, true)
-		snap, stats, err := dbt.Run(img, tape, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: INIP(%d) run of %s: %w", threshold, t.Name, err)
-		}
-		summary, norm, err := Compare(snap, avep)
-		if err != nil {
-			return nil, fmt.Errorf("core: INIP(%d) comparison of %s: %w", threshold, t.Name, err)
-		}
-		tr := ThresholdResult{
-			T:            threshold,
-			Summary:      summary,
-			Normalized:   norm,
-			ProfilingOps: snap.ProfilingOps,
-			Stats:        *stats,
-		}
-		if cfg.Perf != nil {
-			tr.Cycles = cfg.Perf.Cycles
-		}
-		if opts.KeepSnapshots {
-			tr.Snapshot = snap
-		}
-		out.Results = append(out.Results, tr)
+// RunBenchmark executes the full three-way study for one target: AVEP
+// and INIP(train) once, then INIP(T) for every threshold in the ladder.
+// It is a self-contained wrapper around ScheduleBenchmark with a private
+// scheduler; studies share one scheduler across benchmarks instead.
+func RunBenchmark(t Target, opts Options) (*BenchmarkResult, error) {
+	s := NewScheduler(opts.Workers)
+	var out *BenchmarkResult
+	ScheduleBenchmark(s, t, opts, func(r *BenchmarkResult) { out = r })
+	if err := s.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -228,6 +534,9 @@ func BuildFromAsm(name, src string) Target {
 			}
 			img.Name = name
 			return img, interp.NewUniformTape(name + "/" + input), nil
+		},
+		NewTape: func(input string) (interp.Tape, error) {
+			return interp.NewUniformTape(name + "/" + input), nil
 		},
 	}
 }

@@ -231,7 +231,7 @@ innerbody:
 
 func TestNestedLoopsFormLoopRegions(t *testing.T) {
 	target := BuildFromAsm("mcfshape", nestedLoopSrc(4000, 7372))
-	res, err := RunBenchmark(target, Options{Thresholds: []uint64{200}, KeepSnapshots: true})
+	res, err := RunBenchmark(target, Options{Thresholds: []uint64{200}, KeepSnapshots: true, KeepNormalized: true})
 	if err != nil {
 		t.Fatal(err)
 	}

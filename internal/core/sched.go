@@ -1,0 +1,79 @@
+// Run-level work scheduler: the study pipeline is decomposed into
+// independent units — per-benchmark reference runs, training runs and
+// per-threshold comparisons — scheduled over one shared bounded worker
+// pool, with fail-fast cancellation so one failing benchmark stops the
+// rest instead of letting them run to completion first.
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Scheduler is a bounded worker pool with first-error fail-fast. Units
+// are scheduled with Go — including from inside a running unit, which is
+// how dependent stages (e.g. the per-threshold comparisons that need the
+// AVEP snapshot) are spawned without ever blocking a pool slot on an
+// unfinished dependency.
+type Scheduler struct {
+	sem  chan struct{}
+	done chan struct{}
+	once sync.Once
+	err  error
+	wg   sync.WaitGroup
+}
+
+// NewScheduler returns a scheduler running at most workers units
+// concurrently (default: GOMAXPROCS).
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		sem:  make(chan struct{}, workers),
+		done: make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the scheduler has failed. Units
+// pass it to dbt.Config.Interrupt so in-flight translator runs stop
+// promptly instead of running the guest to completion.
+func (s *Scheduler) Done() <-chan struct{} { return s.done }
+
+// fail records the first error and cancels the pool.
+func (s *Scheduler) fail(err error) {
+	s.once.Do(func() {
+		s.err = err
+		close(s.done)
+	})
+}
+
+// Go schedules a unit. Units scheduled after a failure, or still waiting
+// for a slot when one happens, are dropped.
+func (s *Scheduler) Go(f func() error) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.done:
+			return
+		}
+		defer func() { <-s.sem }()
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		if err := f(); err != nil {
+			s.fail(err)
+		}
+	}()
+}
+
+// Wait blocks until every scheduled unit has finished (or been dropped
+// by a failure) and returns the first error, if any.
+func (s *Scheduler) Wait() error {
+	s.wg.Wait()
+	return s.err
+}

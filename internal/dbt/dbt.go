@@ -25,6 +25,7 @@
 package dbt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -35,6 +36,10 @@ import (
 	"repro/internal/profile"
 	"repro/internal/region"
 )
+
+// ErrInterrupted reports that a run was stopped through Config.Interrupt
+// before the guest halted.
+var ErrInterrupted = errors.New("dbt: run interrupted")
 
 // Config controls one translator run.
 type Config struct {
@@ -67,6 +72,18 @@ type Config struct {
 	// executions (0 = unlimited). The synthetic benchmarks halt on
 	// their own; this is a safety net.
 	MaxBlockExecs uint64
+
+	// Interrupt, when non-nil, is polled periodically by the run loop;
+	// once it is closed the run stops with ErrInterrupted. The study
+	// scheduler uses it for fail-fast cancellation, so one failing
+	// benchmark does not let the rest run to completion.
+	Interrupt <-chan struct{}
+
+	// DisableFastPath forces block execution through the generic
+	// interp.Exec dispatch instead of the pre-lowered records. It exists
+	// for cross-validation (the equivalence tests run both paths) and
+	// debugging; production runs leave it off.
+	DisableFastPath bool
 
 	// Adaptive enables the paper's section-5 proposal of monitoring
 	// region side exits: a region whose side-exit rate exceeds
@@ -115,9 +132,31 @@ type tblock struct {
 	hasBranch   bool
 	costSum     int // sum of guest instruction costs, for the perf model
 
+	// Pre-lowered execution records (see lower.go): body holds the
+	// lowered non-control instructions, tkind/brs/brt the terminator.
+	// lowered is false for blocks the lowerer declined, which then run
+	// through the generic interp.Exec path.
+	body     []lop
+	tkind    tkind
+	brs, brt uint8
+	lowered  bool
+
+	// takenBlk/fallBlk chain this block to the translated blocks its
+	// terminator edges last reached, so steady-state execution skips the
+	// code-cache lookup. Entries are validated against the actual next
+	// pc before use (indirect terminators can change targets) and cache
+	// pointers stay valid for the engine's lifetime: translated blocks
+	// are never replaced, only their counters change.
+	takenBlk *tblock
+	fallBlk  *tblock
+
 	use    uint64
 	taken  uint64
 	frozen bool
+	// nextRegister is the use count at which the block next becomes a
+	// registration candidate (the next multiple of the threshold),
+	// letting the hot loop test equality instead of dividing.
+	nextRegister uint64
 	// registrations counts how many times the block entered the
 	// candidate pool.
 	registrations int
@@ -126,11 +165,15 @@ type tblock struct {
 	regionEntry *regionRT
 }
 
-// regionRT is the execution-time view of an optimized region.
+// regionRT is the execution-time view of an optimized region. Member
+// successors are resolved to node pointers once at formation time, so
+// following the region cursor costs two pointer loads per block instead
+// of a map access on the copy ID.
 type regionRT struct {
-	r    *profile.Region
-	byID map[int]*profile.RegionBlock
-	last int // ID of the final block (trace completion target)
+	r     *profile.Region
+	nodes []rtNode
+	entry *rtNode
+	last  *rtNode // final block (trace completion target)
 
 	// Per-region execution statistics, used by the adaptive mode and
 	// by continuous trip-count profiling.
@@ -139,6 +182,37 @@ type regionRT struct {
 	sideExits   uint64
 	completions uint64
 	dissolved   bool
+}
+
+// rtNode is one region member with its in-region successors pre-linked;
+// a nil successor is a region exit.
+type rtNode struct {
+	rb    *profile.RegionBlock
+	taken *rtNode
+	fall  *rtNode
+}
+
+// newRegionRT links the region's members into an execution-time node
+// graph.
+func newRegionRT(r *profile.Region) *regionRT {
+	rt := &regionRT{r: r, nodes: make([]rtNode, len(r.Blocks))}
+	idx := make(map[int]int, len(r.Blocks))
+	for i := range r.Blocks {
+		rt.nodes[i].rb = &r.Blocks[i]
+		idx[r.Blocks[i].ID] = i
+	}
+	for i := range rt.nodes {
+		rb := rt.nodes[i].rb
+		if j, ok := idx[rb.TakenNext]; ok && rb.TakenNext != -1 {
+			rt.nodes[i].taken = &rt.nodes[j]
+		}
+		if j, ok := idx[rb.FallNext]; ok && rb.FallNext != -1 {
+			rt.nodes[i].fall = &rt.nodes[j]
+		}
+	}
+	rt.entry = &rt.nodes[idx[r.Entry]]
+	rt.last = &rt.nodes[len(rt.nodes)-1]
+	return rt
 }
 
 // continuousLP is the continuously-collected loop-back probability: of
@@ -188,7 +262,19 @@ type Engine struct {
 
 	// region execution cursor
 	curRegion *regionRT
-	curCopy   *profile.RegionBlock
+	curNode   *rtNode
+
+	// Stepping state: cur is the block about to execute, halted reports
+	// that the guest has stopped. The fields below cache hot-loop config
+	// reads (see Run and RunMulti).
+	cur       *tblock
+	halted    bool
+	budget    uint64
+	interrupt <-chan struct{}
+	optimize  bool
+	converge  bool
+	threshold uint64
+	perf      *perfmodel.Accumulator
 }
 
 // New prepares an engine. The image is validated; the tape supplies
@@ -216,13 +302,19 @@ func New(img *guest.Image, tape interp.Tape, cfg Config) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		cfg:    cfg,
-		img:    img,
-		st:     interp.NewState(img, tape),
-		cache:  make([]*tblock, len(img.Code)),
-		inPool: make(map[int]bool),
-		former: region.NewFormer(rcfg),
-		rts:    make(map[*profile.Region]*regionRT),
+		cfg:       cfg,
+		img:       img,
+		st:        interp.NewState(img, tape),
+		cache:     make([]*tblock, len(img.Code)),
+		inPool:    make(map[int]bool),
+		former:    region.NewFormer(rcfg),
+		rts:       make(map[*profile.Region]*regionRT),
+		budget:    cfg.MaxBlockExecs,
+		interrupt: cfg.Interrupt,
+		optimize:  cfg.Optimize,
+		converge:  cfg.ConvergeRegister,
+		threshold: cfg.Threshold,
+		perf:      cfg.Perf,
 	}, nil
 }
 
@@ -304,6 +396,8 @@ func (e *Engine) translate(addr int) (*tblock, error) {
 		}
 		pc++
 	}
+	tb.lowered = tb.lower()
+	tb.nextRegister = e.cfg.Threshold
 	e.cache[addr] = tb
 	e.stats.BlocksTranslated++
 	if e.cfg.Perf != nil {
@@ -364,21 +458,19 @@ func (e *Engine) register(tb *tblock) bool {
 	return len(e.pool) >= e.cfg.PoolTrigger
 }
 
-// optimize runs one optimization wave over the current candidate pool.
-func (e *Engine) optimize() {
+// optimizeWave runs one optimization wave over the current candidate
+// pool.
+func (e *Engine) optimizeWave() {
 	e.stats.OptimizationWaves++
 	formed := e.former.Form(e, e.pool)
 	for _, r := range formed {
-		rt := &regionRT{r: r, byID: make(map[int]*profile.RegionBlock, len(r.Blocks))}
+		rt := newRegionRT(r)
 		instTotal := 0
 		for i := range r.Blocks {
-			rb := &r.Blocks[i]
-			rt.byID[rb.ID] = rb
-			if tb := e.lookup(rb.Addr); tb != nil {
+			if tb := e.lookup(r.Blocks[i].Addr); tb != nil {
 				instTotal += len(tb.insts)
 			}
 		}
-		rt.last = r.Blocks[len(r.Blocks)-1].ID
 		e.rts[r] = rt
 		entryAddr := r.EntryBlock().Addr
 		if tb := e.lookup(entryAddr); tb != nil && tb.regionEntry == nil {
@@ -420,30 +512,28 @@ func (e *Engine) optimize() {
 // accounting.
 func (e *Engine) trackRegion(tb *tblock, takenEdge bool) {
 	if e.curRegion != nil {
-		rb := e.curCopy
-		if rb == nil || rb.Addr != tb.addr {
+		node := e.curNode
+		if node == nil || node.rb.Addr != tb.addr {
 			// The cursor went stale (should not happen); treat as exit.
 			e.leaveRegion(false)
+			return
+		}
+		var next *rtNode
+		if takenEdge {
+			next = node.taken
 		} else {
-			var nextID int
-			if takenEdge {
-				nextID = rb.TakenNext
-			} else {
-				nextID = rb.FallNext
-			}
-			switch {
-			case nextID == -1:
-				completed := e.curRegion.r.Kind == profile.RegionTrace && rb.ID == e.curRegion.last
-				e.leaveRegion(completed)
-			case nextID == e.curRegion.r.Entry:
-				e.stats.RegionLoopBacks++
-				e.curRegion.loopBacks++
-				e.curCopy = e.curRegion.byID[nextID]
-				return
-			default:
-				e.curCopy = e.curRegion.byID[nextID]
-				return
-			}
+			next = node.fall
+		}
+		switch {
+		case next == nil:
+			completed := e.curRegion.r.Kind == profile.RegionTrace && node == e.curRegion.last
+			e.leaveRegion(completed)
+		case next == e.curRegion.entry:
+			e.stats.RegionLoopBacks++
+			e.curRegion.loopBacks++
+			e.curNode = next
+		default:
+			e.curNode = next
 		}
 	}
 }
@@ -464,7 +554,7 @@ func (e *Engine) leaveRegion(completed bool) {
 		}
 	}
 	e.curRegion = nil
-	e.curCopy = nil
+	e.curNode = nil
 	if e.cfg.Adaptive && !completed {
 		e.maybeDissolve(rt)
 	}
@@ -517,6 +607,7 @@ func (e *Engine) maybeDissolve(rt *regionRT) {
 		tb.use = 0
 		tb.taken = 0
 		tb.registrations = 0
+		tb.nextRegister = e.cfg.Threshold
 		e.former.Unplace(addr)
 	}
 	// Drop the dissolved region from the run's output.
@@ -528,100 +619,221 @@ func (e *Engine) maybeDissolve(rt *regionRT) {
 	}
 }
 
+// interruptCheckMask throttles the Interrupt poll to every 4096 block
+// executions; a channel select per block would be measurable.
+const interruptCheckMask = 1<<12 - 1
+
+// start prepares the engine for stepping: the entry block is translated
+// and becomes the execution cursor.
+func (e *Engine) start() error {
+	if e.cur != nil || e.halted {
+		return fmt.Errorf("dbt: engine already ran")
+	}
+	tb := e.lookup(e.img.Entry)
+	if tb == nil {
+		var err error
+		tb, err = e.translate(e.img.Entry)
+		if err != nil {
+			return err
+		}
+	}
+	e.cur = tb
+	return nil
+}
+
+// preExec accounts for the upcoming execution of the cursor block and
+// enforces the budget and interrupt checks, exactly where the serial
+// loop always performed them: before the block runs. The cold paths are
+// outlined so the check itself inlines into the run loops.
+func (e *Engine) preExec() error {
+	e.stats.BlocksExecuted++
+	if e.budget > 0 && e.stats.BlocksExecuted > e.budget {
+		return e.budgetExhausted()
+	}
+	if e.interrupt != nil && e.stats.BlocksExecuted&interruptCheckMask == 0 {
+		return e.pollInterrupt()
+	}
+	return nil
+}
+
+//go:noinline
+func (e *Engine) budgetExhausted() error {
+	return fmt.Errorf("dbt: block execution budget %d exhausted", e.budget)
+}
+
+//go:noinline
+func (e *Engine) pollInterrupt() error {
+	select {
+	case <-e.interrupt:
+		return ErrInterrupted
+	default:
+	}
+	return nil
+}
+
+// postExec advances the profiling state machine past the cursor block,
+// given the architectural outcome of executing it (the next pc and the
+// halt flag). It performs everything a run does besides executing guest
+// instructions — counters, registration, optimization waves, perf
+// charges and region tracking — and moves the cursor to the successor
+// block. Because profiling never feeds back into guest execution, the
+// outcome may equally come from this engine's own execBlock or from a
+// different engine that executed the same trace (see RunMulti).
+func (e *Engine) postExec(nextPC int, halted bool) error {
+	tb := e.cur
+	e.stats.Instructions += uint64(len(tb.insts))
+
+	takenEdge := tb.hasBranch && nextPC == tb.takenTarget
+	if !tb.hasBranch {
+		takenEdge = true // unconditional transfers use the taken edge
+	}
+
+	// Profiling phase instrumentation.
+	if !tb.frozen {
+		tb.use++
+		e.profOps++
+		if tb.hasBranch && takenEdge {
+			tb.taken++
+			e.profOps++
+		}
+		if e.optimize {
+			// Fixed-threshold registration reduces to an equality
+			// test against the precomputed next multiple; the
+			// convergence heuristic keeps the full check.
+			var ready bool
+			if e.converge {
+				ready = e.shouldRegister(tb)
+			} else if tb.use == tb.nextRegister {
+				ready = true
+				tb.nextRegister += e.threshold
+			}
+			if ready {
+				if e.register(tb) {
+					e.optimizeWave()
+				}
+			}
+		}
+	}
+
+	// Resolve the successor block through the chained edge pointers,
+	// falling back to the code-cache lookup (translation of a new
+	// block waits until after the region bookkeeping, matching the
+	// cache state the region-entry check always observed).
+	var next *tblock
+	if takenEdge {
+		if nb := tb.takenBlk; nb != nil && nb.addr == nextPC {
+			next = nb
+		}
+	} else if nb := tb.fallBlk; nb != nil && nb.addr == nextPC {
+		next = nb
+	}
+	if next == nil {
+		if next = e.lookup(nextPC); next != nil {
+			if takenEdge {
+				tb.takenBlk = next
+			} else {
+				tb.fallBlk = next
+			}
+		}
+	}
+
+	// Perf accounting and region tracking. A frozen block executes
+	// at full optimized speed only when control is following one of
+	// its regions' expected paths (the cursor is on it); frozen
+	// code reached outside a region context was retranslated for a
+	// different path and gets no scheduling benefit.
+	if e.perf != nil {
+		switch {
+		case tb.frozen && e.curNode != nil && e.curNode.rb.Addr == tb.addr:
+			e.perf.ChargeOptimizedBlock(tb.costSum)
+		case tb.frozen:
+			e.perf.ChargeOffTraceBlock(tb.costSum)
+		default:
+			e.perf.ChargeQuickBlock(tb.costSum)
+		}
+	}
+	if e.optimize {
+		if e.curRegion != nil {
+			e.trackRegion(tb, takenEdge)
+		}
+		// If control is about to arrive at a region entry while no
+		// region is active, open it.
+		if next != nil && e.curRegion == nil && next.regionEntry != nil {
+			e.curRegion = next.regionEntry
+			e.curRegion.entries++
+			e.curNode = next.regionEntry.entry
+			e.stats.RegionEntries++
+		}
+	}
+
+	if halted {
+		e.halted = true
+		return nil
+	}
+	if next == nil {
+		var err error
+		next, err = e.translate(nextPC)
+		if err != nil {
+			return err
+		}
+		if takenEdge {
+			tb.takenBlk = next
+		} else {
+			tb.fallBlk = next
+		}
+	}
+	e.cur = next
+	return nil
+}
+
+// finish packages the snapshot and statistics of a completed run.
+func (e *Engine) finish() (*profile.Snapshot, *RunStats, error) {
+	snap := e.snapshot()
+	if e.perf != nil {
+		e.stats.Cycles = e.perf.Cycles
+		snap.Cycles = uint64(e.perf.Cycles)
+	}
+	stats := e.stats
+	return snap, &stats, nil
+}
+
 // Run executes the guest to completion and returns the profile snapshot
 // and run statistics.
 func (e *Engine) Run() (*profile.Snapshot, *RunStats, error) {
-	pc := e.img.Entry
+	if err := e.start(); err != nil {
+		return nil, nil, err
+	}
+	fast := !e.cfg.DisableFastPath
 	for {
-		tb := e.lookup(pc)
-		if tb == nil {
-			var err error
-			tb, err = e.translate(pc)
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-		e.stats.BlocksExecuted++
-		if e.cfg.MaxBlockExecs > 0 && e.stats.BlocksExecuted > e.cfg.MaxBlockExecs {
-			return nil, nil, fmt.Errorf("dbt: block execution budget %d exhausted", e.cfg.MaxBlockExecs)
+		tb := e.cur
+		if err := e.preExec(); err != nil {
+			return nil, nil, err
 		}
 
-		// Execute the block body through the shared semantic core.
+		// Execute the block: pre-lowered records in steady state, the
+		// generic interp.Exec dispatch when forced or when the lowerer
+		// declined the block. Both paths are bit-for-bit equivalent.
 		var (
 			nextPC int
 			halted bool
 			err    error
 		)
-		base := tb.addr
-		for i, in := range tb.insts {
-			nextPC, halted, err = interp.Exec(e.st, base+i, in)
-			if err != nil {
-				return nil, nil, err
-			}
+		if fast && tb.lowered {
+			nextPC, halted, err = e.execBlock(tb)
+		} else {
+			nextPC, halted, err = e.execBlockGeneric(tb)
 		}
-		e.stats.Instructions += uint64(len(tb.insts))
-
-		takenEdge := tb.hasBranch && nextPC == tb.takenTarget
-		if !tb.hasBranch {
-			takenEdge = true // unconditional transfers use the taken edge
+		if err != nil {
+			return nil, nil, err
 		}
-
-		// Profiling phase instrumentation.
-		if !tb.frozen {
-			tb.use++
-			e.profOps++
-			if tb.hasBranch && takenEdge {
-				tb.taken++
-				e.profOps++
-			}
-			if e.cfg.Optimize {
-				if e.shouldRegister(tb) {
-					if e.register(tb) {
-						e.optimize()
-					}
-				}
-			}
+		if err := e.postExec(nextPC, halted); err != nil {
+			return nil, nil, err
 		}
-
-		// Perf accounting and region tracking. A frozen block executes
-		// at full optimized speed only when control is following one of
-		// its regions' expected paths (the cursor is on it); frozen
-		// code reached outside a region context was retranslated for a
-		// different path and gets no scheduling benefit.
-		if e.cfg.Perf != nil {
-			switch {
-			case tb.frozen && e.curCopy != nil && e.curCopy.Addr == tb.addr:
-				e.cfg.Perf.ChargeOptimizedBlock(tb.costSum)
-			case tb.frozen:
-				e.cfg.Perf.ChargeOffTraceBlock(tb.costSum)
-			default:
-				e.cfg.Perf.ChargeQuickBlock(tb.costSum)
-			}
-		}
-		if e.cfg.Optimize {
-			e.trackRegion(tb, takenEdge)
-			// If control is about to arrive at a region entry while no
-			// region is active, open it.
-			if next := e.lookup(nextPC); next != nil && e.curRegion == nil && next.regionEntry != nil {
-				e.curRegion = next.regionEntry
-				e.curRegion.entries++
-				e.curCopy = next.regionEntry.r.EntryBlock()
-				e.stats.RegionEntries++
-			}
-		}
-
 		if halted {
 			break
 		}
-		pc = nextPC
 	}
-	snap := e.snapshot()
-	if e.cfg.Perf != nil {
-		e.stats.Cycles = e.cfg.Perf.Cycles
-		snap.Cycles = uint64(e.cfg.Perf.Cycles)
-	}
-	stats := e.stats
-	return snap, &stats, nil
+	return e.finish()
 }
 
 // snapshot builds the INIP/AVEP profile of the finished run.

@@ -1,0 +1,293 @@
+// Pre-lowered block execution: at translate time every decoded
+// isa.Inst is lowered into a compact operation record, and the engine's
+// hot loop executes those records through a dbt-local dispatch instead
+// of re-entering interp.Exec's generic decode-switch for every dynamic
+// instruction. Block bodies carry no control flow, so the lowered body
+// loop needs no per-instruction pc bookkeeping, next-pc tuple or halt
+// flag; the terminator is lowered separately with its targets resolved
+// once at translate time.
+//
+// The fast path is required to be bit-for-bit equivalent to the
+// reference interpreter. Semantics are copied verbatim from interp.Exec,
+// and every fault (memory bounds, call-stack depth, empty return stack)
+// is reported by re-executing the faulting instruction through
+// interp.Exec so the error value is exactly the interpreter's. The
+// generic path survives behind Config.DisableFastPath and is
+// cross-validated against the fast path by test.
+package dbt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+// lkind is the lowered opcode of a block-body instruction. Body
+// instructions never transfer control, so control ops have no lkind.
+type lkind uint8
+
+const (
+	lNop lkind = iota
+	lAdd
+	lSub
+	lMul
+	lAnd
+	lOr
+	lXor
+	lShl
+	lShr
+	lAddi
+	lLoadi
+	lLuhi
+	lMov
+	lLoad
+	lStore
+	lIn
+	lFadd
+	lFmul
+	lFdiv
+)
+
+// lop is one lowered body instruction.
+type lop struct {
+	kind       lkind
+	rd, rs, rt uint8
+	imm        int32
+}
+
+// tkind is the lowered terminator class. Branch targets live on the
+// tblock (takenTarget/fallTarget), resolved once at translate time.
+type tkind uint8
+
+const (
+	tHalt tkind = iota
+	tBeq
+	tBne
+	tBlt
+	tBge
+	tJmp
+	tJr
+	tCall
+	tRet
+)
+
+// lowerBodyKind maps a non-control opcode to its lowered form.
+func lowerBodyKind(op isa.Op) (lkind, bool) {
+	switch op {
+	case isa.OpNop:
+		return lNop, true
+	case isa.OpAdd:
+		return lAdd, true
+	case isa.OpSub:
+		return lSub, true
+	case isa.OpMul:
+		return lMul, true
+	case isa.OpAnd:
+		return lAnd, true
+	case isa.OpOr:
+		return lOr, true
+	case isa.OpXor:
+		return lXor, true
+	case isa.OpShl:
+		return lShl, true
+	case isa.OpShr:
+		return lShr, true
+	case isa.OpAddi:
+		return lAddi, true
+	case isa.OpLoadi:
+		return lLoadi, true
+	case isa.OpLuhi:
+		return lLuhi, true
+	case isa.OpMov:
+		return lMov, true
+	case isa.OpLoad:
+		return lLoad, true
+	case isa.OpStore:
+		return lStore, true
+	case isa.OpIn:
+		return lIn, true
+	case isa.OpFadd:
+		return lFadd, true
+	case isa.OpFmul:
+		return lFmul, true
+	case isa.OpFdiv:
+		return lFdiv, true
+	}
+	return 0, false
+}
+
+// lower populates the block's pre-lowered body and terminator from its
+// decoded instructions and reports success. A block that cannot be
+// lowered (an opcode unknown to the lowerer) stays on the generic
+// interp.Exec path.
+func (tb *tblock) lower() bool {
+	body := tb.insts[:len(tb.insts)-1]
+	lops := make([]lop, len(body))
+	for i, in := range body {
+		k, ok := lowerBodyKind(in.Op)
+		if !ok {
+			return false
+		}
+		lops[i] = lop{kind: k, rd: in.Rd, rs: in.Rs, rt: in.Rt, imm: in.Imm}
+	}
+	term := tb.insts[len(tb.insts)-1]
+	switch term.Op {
+	case isa.OpHalt:
+		tb.tkind = tHalt
+	case isa.OpBeq:
+		tb.tkind = tBeq
+	case isa.OpBne:
+		tb.tkind = tBne
+	case isa.OpBlt:
+		tb.tkind = tBlt
+	case isa.OpBge:
+		tb.tkind = tBge
+	case isa.OpJmp:
+		tb.tkind = tJmp
+	case isa.OpJr:
+		tb.tkind = tJr
+	case isa.OpCall:
+		tb.tkind = tCall
+	case isa.OpRet:
+		tb.tkind = tRet
+	default:
+		return false
+	}
+	tb.body = lops
+	tb.brs, tb.brt = term.Rs, term.Rt
+	return true
+}
+
+// faultAt reproduces the fault of instruction i of tb by re-executing it
+// through the reference interpreter, so the fast path returns exactly
+// the error interp.Exec would have.
+func (e *Engine) faultAt(tb *tblock, i int) error {
+	_, _, err := interp.Exec(e.st, tb.addr+i, tb.insts[i])
+	if err == nil {
+		// The fast path saw a fault condition the interpreter does not:
+		// a lowering bug, not a guest bug.
+		return fmt.Errorf("dbt: internal: fast path faulted at pc %d but interpreter did not", tb.addr+i)
+	}
+	return err
+}
+
+// execBlock executes the block body and terminator through the
+// pre-lowered fast path. Its contract matches running interp.Exec over
+// every instruction of the block: it returns the interpreter's next pc
+// and halt flag, and fault errors are the interpreter's own.
+func (e *Engine) execBlock(tb *tblock) (nextPC int, halted bool, err error) {
+	st := e.st
+	r := &st.Regs
+	// Register fields come from a 4-bit encoding, so masking with 15 is
+	// a no-op semantically and lets the compiler elide the array bounds
+	// checks in the hot loop.
+	for i := 0; i < len(tb.body); i++ {
+		op := tb.body[i]
+		switch op.kind {
+		case lNop:
+		case lAdd:
+			r[op.rd&15] = r[op.rs&15] + r[op.rt&15]
+		case lSub:
+			r[op.rd&15] = r[op.rs&15] - r[op.rt&15]
+		case lMul:
+			r[op.rd&15] = r[op.rs&15] * r[op.rt&15]
+		case lAnd:
+			r[op.rd&15] = r[op.rs&15] & r[op.rt&15]
+		case lOr:
+			r[op.rd&15] = r[op.rs&15] | r[op.rt&15]
+		case lXor:
+			r[op.rd&15] = r[op.rs&15] ^ r[op.rt&15]
+		case lShl:
+			r[op.rd&15] = r[op.rs&15] << (r[op.rt&15] & 31)
+		case lShr:
+			r[op.rd&15] = r[op.rs&15] >> (r[op.rt&15] & 31)
+		case lAddi:
+			r[op.rd&15] = r[op.rs&15] + uint32(op.imm)
+		case lLoadi:
+			r[op.rd&15] = uint32(op.imm)
+		case lLuhi:
+			r[op.rd&15] = r[op.rd&15]<<13 | uint32(op.imm)&0x1FFF
+		case lMov:
+			r[op.rd&15] = r[op.rs&15]
+		case lLoad:
+			addr := int(int32(r[op.rs&15]) + op.imm)
+			if uint(addr) >= uint(len(st.Mem)) {
+				return 0, false, e.faultAt(tb, i)
+			}
+			r[op.rd&15] = st.Mem[addr]
+		case lStore:
+			addr := int(int32(r[op.rs&15]) + op.imm)
+			if uint(addr) >= uint(len(st.Mem)) {
+				return 0, false, e.faultAt(tb, i)
+			}
+			st.Mem[addr] = r[op.rt&15]
+		case lIn:
+			r[op.rd&15] = st.Tape.Next()
+		case lFadd:
+			r[op.rd&15] = math.Float32bits(math.Float32frombits(r[op.rs&15]) + math.Float32frombits(r[op.rt&15]))
+		case lFmul:
+			r[op.rd&15] = math.Float32bits(math.Float32frombits(r[op.rs&15]) * math.Float32frombits(r[op.rt&15]))
+		case lFdiv:
+			r[op.rd&15] = math.Float32bits(math.Float32frombits(r[op.rs&15]) / math.Float32frombits(r[op.rt&15]))
+		}
+	}
+	switch tb.tkind {
+	case tBeq:
+		if r[tb.brs&15] == r[tb.brt&15] {
+			return tb.takenTarget, false, nil
+		}
+		return tb.fallTarget, false, nil
+	case tBne:
+		if r[tb.brs&15] != r[tb.brt&15] {
+			return tb.takenTarget, false, nil
+		}
+		return tb.fallTarget, false, nil
+	case tBlt:
+		if int32(r[tb.brs&15]) < int32(r[tb.brt&15]) {
+			return tb.takenTarget, false, nil
+		}
+		return tb.fallTarget, false, nil
+	case tBge:
+		if int32(r[tb.brs&15]) >= int32(r[tb.brt&15]) {
+			return tb.takenTarget, false, nil
+		}
+		return tb.fallTarget, false, nil
+	case tJmp:
+		return tb.takenTarget, false, nil
+	case tJr:
+		return int(r[tb.brs&15]), false, nil
+	case tCall:
+		if len(st.Ret) >= interp.MaxCallDepth {
+			return 0, false, e.faultAt(tb, len(tb.insts)-1)
+		}
+		st.Ret = append(st.Ret, tb.end+1)
+		return tb.takenTarget, false, nil
+	case tRet:
+		n := len(st.Ret)
+		if n == 0 {
+			return 0, false, e.faultAt(tb, len(tb.insts)-1)
+		}
+		nextPC = st.Ret[n-1]
+		st.Ret = st.Ret[:n-1]
+		return nextPC, false, nil
+	default: // tHalt
+		return tb.end, true, nil
+	}
+}
+
+// execBlockGeneric executes the block through the shared semantic core,
+// one interp.Exec call per instruction. It is the reference the fast
+// path is validated against (Config.DisableFastPath) and the fallback
+// for blocks the lowerer declined.
+func (e *Engine) execBlockGeneric(tb *tblock) (nextPC int, halted bool, err error) {
+	base := tb.addr
+	for i, in := range tb.insts {
+		nextPC, halted, err = interp.Exec(e.st, base+i, in)
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	return nextPC, halted, nil
+}

@@ -1,0 +1,105 @@
+// Shared-trace execution: because profiling state (counters, frozen
+// flags, regions, perf charges) never feeds back into guest execution,
+// every run of the same image over the same tape follows the identical
+// block trace regardless of its threshold or optimization settings.
+// RunMulti exploits this: it executes the guest once and replays each
+// architectural outcome through any number of independent profiling
+// engines, so an AVEP run and a whole INIP(T) ladder cost one execution
+// plus N bookkeeping passes instead of N full runs.
+//
+// Each follower engine steps through exactly the code path a serial run
+// would (preExec, postExec), with its own code cache, counters, region
+// former and perf accumulator, so its snapshot, statistics and cycle
+// totals are bit-for-bit what a serial Run with the same Config would
+// have produced. Tests cross-validate this for every configuration
+// class.
+package dbt
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/interp"
+	"repro/internal/profile"
+)
+
+// RunMulti executes the guest once and produces one profile snapshot
+// and one statistics record per configuration, as if each configuration
+// had been run serially with Run over an identical tape. The first
+// configuration drives execution: its Input, DisableFastPath, Interrupt
+// and MaxBlockExecs settings govern the shared trace, and the tape is
+// consumed by it alone. All configurations must agree on what the guest
+// does — they may differ in profiling settings (Threshold, Optimize,
+// Perf, adaptive/convergence knobs) but not in anything architectural.
+func RunMulti(img *guest.Image, tape interp.Tape, cfgs []Config) ([]*profile.Snapshot, []*RunStats, error) {
+	if len(cfgs) == 0 {
+		return nil, nil, fmt.Errorf("dbt: RunMulti needs at least one config")
+	}
+	engines := make([]*Engine, len(cfgs))
+	for i, cfg := range cfgs {
+		var tp interp.Tape
+		if i == 0 {
+			tp = tape
+		} else {
+			// Followers never execute guest instructions, so they need
+			// no tape and must not poll the interrupt channel (the
+			// driver already does).
+			cfg.Interrupt = nil
+		}
+		e, err := New(img, tp, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		engines[i] = e
+	}
+	driver := engines[0]
+	fast := !driver.cfg.DisableFastPath
+	for _, e := range engines {
+		if err := e.start(); err != nil {
+			return nil, nil, err
+		}
+	}
+	followers := engines[1:]
+	for {
+		// The driver's budget/interrupt check runs before the block
+		// does, exactly as in a serial run; each follower then advances
+		// through the identical accounting + bookkeeping sequence.
+		if err := driver.preExec(); err != nil {
+			return nil, nil, err
+		}
+		tb := driver.cur
+		var (
+			nextPC int
+			halted bool
+			err    error
+		)
+		if fast && tb.lowered {
+			nextPC, halted, err = driver.execBlock(tb)
+		} else {
+			nextPC, halted, err = driver.execBlockGeneric(tb)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := driver.postExec(nextPC, halted); err != nil {
+			return nil, nil, err
+		}
+		for _, e := range followers {
+			if err := e.preExec(); err != nil {
+				return nil, nil, err
+			}
+			if err := e.postExec(nextPC, halted); err != nil {
+				return nil, nil, err
+			}
+		}
+		if halted {
+			break
+		}
+	}
+	snaps := make([]*profile.Snapshot, len(engines))
+	statss := make([]*RunStats, len(engines))
+	for i, e := range engines {
+		snaps[i], statss[i], _ = e.finish()
+	}
+	return snaps, statss, nil
+}

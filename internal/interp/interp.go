@@ -187,7 +187,7 @@ func Exec(st *State, pc int, in isa.Inst) (nextPC int, halted bool, err error) {
 	case isa.OpJr:
 		return int(r[in.Rs]), false, nil
 	case isa.OpCall:
-		if len(st.Ret) >= maxCallDepth {
+		if len(st.Ret) >= MaxCallDepth {
 			return 0, false, fault(pc, in, "call stack overflow (depth %d)", len(st.Ret))
 		}
 		st.Ret = append(st.Ret, pc+1)
@@ -205,9 +205,11 @@ func Exec(st *State, pc int, in isa.Inst) (nextPC int, halted bool, err error) {
 	return pc + 1, false, nil
 }
 
-// maxCallDepth bounds the guest return stack; synthetic programs never
-// recurse deeply, so hitting it means a generator bug.
-const maxCallDepth = 1 << 16
+// MaxCallDepth bounds the guest return stack; synthetic programs never
+// recurse deeply, so hitting it means a generator bug. It is exported so
+// that pre-lowered execution paths (package dbt) can enforce the same
+// limit the reference interpreter does.
+const MaxCallDepth = 1 << 16
 
 // Machine is the reference interpreter.
 type Machine struct {

@@ -23,6 +23,7 @@ package navep
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/markov"
 	"repro/internal/profile"
@@ -86,7 +87,16 @@ func Normalize(inip, avep *profile.Snapshot) (*Result, error) {
 	res := &Result{}
 
 	// Plain blocks: weight and average probability straight from AVEP.
-	for addr, blk := range inip.Blocks {
+	// Addresses are visited in sorted order so the item list — and hence
+	// the floating-point summation order of every downstream metric — is
+	// identical from run to run.
+	addrs := make([]int, 0, len(inip.Blocks))
+	for addr := range inip.Blocks {
+		addrs = append(addrs, addr)
+	}
+	sort.Ints(addrs)
+	for _, addr := range addrs {
+		blk := inip.Blocks[addr]
 		if !blk.HasBranch {
 			continue
 		}
@@ -164,8 +174,15 @@ func Normalize(inip, avep *profile.Snapshot) (*Result, error) {
 	}
 
 	// Constraints: entries pin or absorb the remainder; interiors take
-	// inflow.
-	for addr, group := range byAddr {
+	// inflow. Sorted address order keeps the constraint system — and the
+	// solver's rounding — deterministic.
+	caddrs := make([]int, 0, len(byAddr))
+	for addr := range byAddr {
+		caddrs = append(caddrs, addr)
+	}
+	sort.Ints(caddrs)
+	for _, addr := range caddrs {
+		group := byAddr[addr]
 		if len(group) > 1 {
 			res.DuplicatedAddrs++
 		}

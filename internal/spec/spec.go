@@ -209,5 +209,11 @@ func (b *Benchmark) Target(scale float64) core.Target {
 		Build: func(input string) (*guest.Image, interp.Tape, error) {
 			return b.Build(input, scale)
 		},
+		NewTape: func(input string) (interp.Tape, error) {
+			if input != "ref" && input != "train" {
+				return nil, fmt.Errorf("spec: %s: unknown input %q", b.Name, input)
+			}
+			return interp.NewUniformTape(b.Name + "/" + input), nil
+		},
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -44,11 +45,20 @@ type Config struct {
 	Benchmarks []*spec.Benchmark
 	// PoolTrigger passes through to the translator.
 	PoolTrigger int
-	// Parallelism bounds concurrent benchmark runs (default NumCPU).
+	// Parallelism bounds concurrently-running work units (default
+	// NumCPU). Units are finer than benchmarks: each benchmark's
+	// reference execution, training run and per-threshold comparisons
+	// schedule independently, so small Parallelism values still make
+	// progress on wide suites.
 	Parallelism int
 	// Progress, when non-nil, receives one line per completed
 	// benchmark.
 	Progress io.Writer
+	// IndependentRuns disables the shared-trace reference execution:
+	// every INIP(T) run executes the guest itself, as a cross-check
+	// (results are identical) and for machines with more cores than
+	// thresholds.
+	IndependentRuns bool
 }
 
 func (c *Config) defaults() {
@@ -98,9 +108,29 @@ type Results struct {
 	Scale  float64
 	PaperT []float64
 	Series []BenchmarkSeries
+	// Perf reports where the study's wall-clock went.
+	Perf Perf
 }
 
-// Run executes the study.
+// Perf summarizes a study run's execution profile. Phase seconds are
+// summed across concurrent units, so they exceed WallSeconds whenever
+// the pool kept more than one core busy.
+type Perf struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	BuildSeconds   float64 `json:"build_seconds"`
+	RefRunSeconds  float64 `json:"ref_run_seconds"`
+	TrainSeconds   float64 `json:"train_run_seconds"`
+	CompareSeconds float64 `json:"compare_seconds"`
+	// BlocksExecuted totals dynamic block executions across every run
+	// unit (each profiling context counts its pass over the trace).
+	BlocksExecuted uint64  `json:"blocks_executed"`
+	BlocksPerSec   float64 `json:"blocks_per_sec"`
+	Workers        int     `json:"workers"`
+}
+
+// Run executes the study: every benchmark is decomposed into run units
+// (reference execution, training run, per-threshold comparisons) on one
+// shared worker pool with fail-fast cancellation.
 func Run(cfg Config) (*Results, error) {
 	cfg.defaults()
 	paperT := append([]float64(nil), cfg.Thresholds...)
@@ -111,32 +141,23 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	res := &Results{Scale: cfg.Scale, PaperT: paperT, Series: make([]BenchmarkSeries, len(cfg.Benchmarks))}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, cfg.Parallelism)
+	var timing core.Timing
+	start := time.Now()
+	sched := core.NewScheduler(cfg.Parallelism)
+	// progressMu serializes Progress writes only; result recording is
+	// lock-free (each benchmark owns its series slot), so a slow writer
+	// never stalls the pool.
+	var progressMu sync.Mutex
 	for i, b := range cfg.Benchmarks {
-		wg.Add(1)
-		go func(i int, b *spec.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			opts := core.Options{
-				Thresholds:  thresholds,
-				PoolTrigger: cfg.PoolTrigger,
-				Perf:        true,
-			}
-			out, err := core.RunBenchmark(b.Target(cfg.Scale), opts)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("study: %s: %w", b.Name, err)
-				}
-				return
-			}
+		i, b := i, b
+		opts := core.Options{
+			Thresholds:      thresholds,
+			PoolTrigger:     cfg.PoolTrigger,
+			Perf:            true,
+			IndependentRuns: cfg.IndependentRuns,
+			Timing:          &timing,
+		}
+		core.ScheduleBenchmark(sched, b.Target(cfg.Scale), opts, func(out *core.BenchmarkResult) {
 			res.Series[i] = BenchmarkSeries{
 				Name:         b.Name,
 				Class:        b.Class,
@@ -147,14 +168,29 @@ func Run(cfg Config) (*Results, error) {
 				PerT:         out.Results,
 			}
 			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "done %-8s (%s): train Sd.BP=%.3f mismatch=%.1f%%\n",
+				line := fmt.Sprintf("done %-8s (%s): train Sd.BP=%.3f mismatch=%.1f%%\n",
 					b.Name, b.Class, out.Train.SdBP, out.Train.BPMismatch*100)
+				progressMu.Lock()
+				io.WriteString(cfg.Progress, line)
+				progressMu.Unlock()
 			}
-		}(i, b)
+		})
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := sched.Wait(); err != nil {
+		return nil, fmt.Errorf("study: %w", err)
+	}
+	wall := time.Since(start)
+	res.Perf = Perf{
+		WallSeconds:    wall.Seconds(),
+		BuildSeconds:   time.Duration(timing.Build.Load()).Seconds(),
+		RefRunSeconds:  time.Duration(timing.RefRuns.Load()).Seconds(),
+		TrainSeconds:   time.Duration(timing.TrainRuns.Load()).Seconds(),
+		CompareSeconds: time.Duration(timing.Compare.Load()).Seconds(),
+		BlocksExecuted: timing.BlocksExecuted.Load(),
+		Workers:        cfg.Parallelism,
+	}
+	if wall > 0 {
+		res.Perf.BlocksPerSec = float64(res.Perf.BlocksExecuted) / wall.Seconds()
 	}
 	return res, nil
 }
