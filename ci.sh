@@ -20,4 +20,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== trace smoke (-race) =="
+# The flight recorder must survive full pool parallelism: record a
+# tiny-scale study under the race detector, then parse and summarize
+# the trace it produced (the strict reader is the schema check).
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run -race ./cmd/inipstudy -scale 0.001 -bench gzip,swim -fig fig8 \
+    -trace "$tmpdir/trace.jsonl" -benchjson "$tmpdir/bench.json" > /dev/null
+go run ./cmd/inipstudy -tracesum "$tmpdir/trace.jsonl" > /dev/null
+
 echo "CI OK"

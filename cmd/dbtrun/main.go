@@ -8,6 +8,7 @@
 //	dbtrun -bench mcf [-input ref] [-scale 1] [-T 2000] [-o inip.json]
 //	dbtrun -image prog.sg32 -T 0            # AVEP (no optimization)
 //	dbtrun -asm prog.s -T 500 -stats -dump
+//	dbtrun -bench gzip -T 500 -trace run.jsonl
 //
 // -T 0 disables the optimization phase (an AVEP/average-profile run);
 // any other value is the retranslation threshold.
@@ -16,38 +17,50 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"repro/internal/dbt"
 	"repro/internal/guest"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/spec"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dbtrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "", "synthetic SPEC2000 benchmark name")
-		imageFile = flag.String("image", "", "SG32 binary image to run")
-		asmFile   = flag.String("asm", "", "SG32 assembler source to run")
-		input     = flag.String("input", "ref", "input name: ref or train")
-		scale     = flag.Float64("scale", 1.0, "benchmark scale factor (with -bench)")
-		threshold = flag.Uint64("T", 0, "retranslation threshold; 0 = no optimization (AVEP)")
-		seed      = flag.String("seed", "", "tape seed override (defaults to <name>/<input>)")
-		outFile   = flag.String("o", "", "write the profile snapshot as JSON to this file")
-		dump      = flag.Bool("dump", false, "print a human-readable profile dump")
-		stats     = flag.Bool("stats", false, "print run statistics")
-		perf      = flag.Bool("perf", false, "enable the cycle model and report simulated cycles")
-		adaptive  = flag.Bool("adaptive", false, "dissolve and rebuild regions whose side-exit rate shows a behaviour change")
-		contTrip  = flag.Bool("continuous-trips", false, "keep loop-back instrumentation alive in optimized loop regions")
-		converge  = flag.Float64("converge", 0, "register blocks on probability convergence with this epsilon (0 = fixed threshold)")
+		benchName = fs.String("bench", "", "synthetic SPEC2000 benchmark name")
+		imageFile = fs.String("image", "", "SG32 binary image to run")
+		asmFile   = fs.String("asm", "", "SG32 assembler source to run")
+		input     = fs.String("input", "ref", "input name: ref or train")
+		scale     = fs.Float64("scale", 1.0, "benchmark scale factor (with -bench)")
+		threshold = fs.Uint64("T", 0, "retranslation threshold; 0 = no optimization (AVEP)")
+		seed      = fs.String("seed", "", "tape seed override (defaults to <name>/<input>)")
+		outFile   = fs.String("o", "", "write the profile snapshot as JSON to this file")
+		dump      = fs.Bool("dump", false, "print a human-readable profile dump")
+		stats     = fs.Bool("stats", false, "print run statistics")
+		perf      = fs.Bool("perf", false, "enable the cycle model and report simulated cycles")
+		adaptive  = fs.Bool("adaptive", false, "dissolve and rebuild regions whose side-exit rate shows a behaviour change")
+		contTrip  = fs.Bool("continuous-trips", false, "keep loop-back instrumentation alive in optimized loop regions")
+		converge  = fs.Float64("converge", 0, "register blocks on probability convergence with this epsilon (0 = fixed threshold)")
+		traceFile = fs.String("trace", "", "append a flight-recorder event for this run as JSONL to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	img, tape, err := load(*benchName, *imageFile, *asmFile, *input, *scale, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dbtrun: %v\n", err)
+		return 2
 	}
 
 	cfg := dbt.Config{
@@ -65,50 +78,91 @@ func main() {
 	if *perf {
 		cfg.Perf = perfmodel.NewAccumulator(perfmodel.DefaultParams())
 	}
+
+	var rec *obs.Recorder
+	var traceOut *os.File
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "dbtrun: %v\n", err)
+			return 1
+		}
+		traceOut = f
+		rec = obs.NewRecorder(f)
+	}
+
+	start := time.Now()
 	snap, runStats, err := dbt.Run(img, tape, cfg)
+	if rec != nil {
+		var blocks uint64
+		if err == nil {
+			blocks = runStats.BlocksExecuted
+		}
+		rec.Record(img.Name, obs.UnitRun, *threshold, 0, start, time.Since(start), blocks, err)
+		dropped, cerr := rec.Close()
+		if ferr := traceOut.Close(); cerr == nil {
+			cerr = ferr
+		}
+		if cerr != nil {
+			fmt.Fprintf(stderr, "dbtrun: trace: %v\n", cerr)
+			if err == nil {
+				return 1
+			}
+		} else if dropped > 0 {
+			fmt.Fprintf(stderr, "dbtrun: trace: %d events dropped\n", dropped)
+		}
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dbtrun: %v\n", err)
+		return 1
 	}
 
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dbtrun: %v\n", err)
+			return 1
 		}
 		if err := snap.Save(f); err != nil {
-			fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dbtrun: %v\n", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "dbtrun: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dbtrun: %v\n", err)
+			return 1
 		}
 	}
 	if *dump {
-		fmt.Print(snap.Dump())
+		fmt.Fprint(stdout, snap.Dump())
 	}
 	if *stats {
-		fmt.Printf("blocks executed:    %d\n", runStats.BlocksExecuted)
-		fmt.Printf("instructions:       %d\n", runStats.Instructions)
-		fmt.Printf("blocks translated:  %d\n", runStats.BlocksTranslated)
-		fmt.Printf("optimization waves: %d\n", runStats.OptimizationWaves)
-		fmt.Printf("regions formed:     %d\n", runStats.RegionsFormed)
+		fmt.Fprintf(stdout, "blocks executed:    %d\n", runStats.BlocksExecuted)
+		fmt.Fprintf(stdout, "instructions:       %d\n", runStats.Instructions)
+		fmt.Fprintf(stdout, "blocks translated:  %d\n", runStats.BlocksTranslated)
+		fmt.Fprintf(stdout, "retranslations:     %d\n", runStats.Retranslations)
+		fmt.Fprintf(stdout, "optimization waves: %d\n", runStats.OptimizationWaves)
+		fmt.Fprintf(stdout, "regions formed:     %d\n", runStats.RegionsFormed)
 		if runStats.RegionsDissolved > 0 {
-			fmt.Printf("regions dissolved:  %d\n", runStats.RegionsDissolved)
+			fmt.Fprintf(stdout, "regions dissolved:  %d\n", runStats.RegionsDissolved)
 		}
-		fmt.Printf("region entries:     %d (completions %d, loop-backs %d, side exits %d)\n",
+		fmt.Fprintf(stdout, "region entries:     %d (completions %d, loop-backs %d, side exits %d)\n",
 			runStats.RegionEntries, runStats.RegionCompletions, runStats.RegionLoopBacks, runStats.RegionSideExits)
-		fmt.Printf("profiling ops:      %d\n", snap.ProfilingOps)
+		fmt.Fprintf(stdout, "dispatches:         %d fast, %d generic (%d cache lookups)\n",
+			runStats.FastDispatches, runStats.GenericDispatches, runStats.CacheLookups)
+		fmt.Fprintf(stdout, "interrupt polls:    %d\n", runStats.InterruptPolls)
+		if runStats.FreezeEvents > 0 {
+			fmt.Fprintf(stdout, "freeze events:      %d\n", runStats.FreezeEvents)
+		}
+		fmt.Fprintf(stdout, "profiling ops:      %d\n", snap.ProfilingOps)
 		if *perf {
-			fmt.Printf("simulated cycles:   %.0f\n", runStats.Cycles)
+			fmt.Fprintf(stdout, "simulated cycles:   %.0f\n", runStats.Cycles)
 		}
 	}
 	if *outFile == "" && !*dump && !*stats {
-		fmt.Printf("%s/%s T=%d: %d blocks, %d regions, %d profiling ops\n",
+		fmt.Fprintf(stdout, "%s/%s T=%d: %d blocks, %d regions, %d profiling ops\n",
 			snap.Program, snap.Input, snap.Threshold, len(snap.Blocks), len(snap.Regions), snap.ProfilingOps)
 	}
+	return 0
 }
 
 func load(bench, image, asm, input string, scale float64, seed string) (*guest.Image, interp.Tape, error) {

@@ -5,6 +5,8 @@
 //
 //	inipstudy [-scale 0.01] [-fig all|fig8,fig17] [-bench mcf,gzip]
 //	          [-chart] [-json] [-v]
+//	inipstudy -trace t.jsonl -benchjson b.json   # observability outputs
+//	inipstudy -tracesum t.jsonl                  # summarize a recorded trace
 //
 // The default scale of 1.0 runs the paper's actual threshold ladder
 // 100..4M (a few minutes); -scale 0.1 gives a quick low-resolution pass.
@@ -14,11 +16,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/study"
 	"repro/internal/textplot"
@@ -58,25 +63,63 @@ func writeBenchJSON(path string, res *study.Results, nbench int, base float64) e
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func main() {
-	var (
-		scale   = flag.Float64("scale", 1.0, "paper-unit scale factor")
-		figSel  = flag.String("fig", "all", "comma-separated figure ids (fig8..fig18) or 'all'")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: full suite)")
-		chart   = flag.Bool("chart", false, "render ASCII charts in addition to tables")
-		asJSON  = flag.Bool("json", false, "emit figure data as JSON")
-		asMD    = flag.String("md", "", "write all figures as a markdown report to this file")
-		verbose = flag.Bool("v", false, "print per-benchmark progress")
-		ext     = flag.Bool("ext", false, "run the section-5 extension experiment instead of the figures")
-		extT    = flag.Float64("extT", 2000, "paper-unit threshold for -ext")
-		conv    = flag.Bool("conv", false, "run the threshold-selection (convergence) experiment instead of the figures")
+// summarizeTrace renders a recorded flight-recorder file (-tracesum).
+func summarizeTrace(path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(stdout, obs.Render(evs))
+	return err
+}
 
-		benchJSON = flag.String("benchjson", "", "write suite wall-clock, blocks/sec and per-phase timing to this file")
-		benchBase = flag.Float64("benchbase", 0, "baseline wall-clock seconds to compute speedup against in -benchjson")
-		indep     = flag.Bool("indep", false, "run each INIP(T) independently instead of replaying the shared reference trace")
-		par       = flag.Int("par", 0, "worker-pool size for run units (default: NumCPU)")
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so the smoke tests
+// drive the full figure pipeline in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("inipstudy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale   = fs.Float64("scale", 1.0, "paper-unit scale factor")
+		figSel  = fs.String("fig", "all", "comma-separated figure ids (fig8..fig18) or 'all'")
+		benches = fs.String("bench", "", "comma-separated benchmark subset (default: full suite)")
+		chart   = fs.Bool("chart", false, "render ASCII charts in addition to tables")
+		asJSON  = fs.Bool("json", false, "emit figure data as JSON")
+		asMD    = fs.String("md", "", "write all figures as a markdown report to this file")
+		verbose = fs.Bool("v", false, "print per-benchmark progress")
+		ext     = fs.Bool("ext", false, "run the section-5 extension experiment instead of the figures")
+		extT    = fs.Float64("extT", 2000, "paper-unit threshold for -ext")
+		conv    = fs.Bool("conv", false, "run the threshold-selection (convergence) experiment instead of the figures")
+
+		benchJSON = fs.String("benchjson", "", "write suite wall-clock, blocks/sec, per-phase timing and engine counters to this file")
+		benchBase = fs.Float64("benchbase", 0, "baseline wall-clock seconds to compute speedup against in -benchjson")
+		indep     = fs.Bool("indep", false, "run each INIP(T) independently instead of replaying the shared reference trace")
+		par       = fs.Int("par", 0, "worker-pool size for run units (default: GOMAXPROCS)")
+
+		traceFile  = fs.String("trace", "", "write a flight-recorder event per pipeline unit as JSONL to this file")
+		traceSum   = fs.String("tracesum", "", "summarize a recorded -trace file (phases, benchmarks, worker occupancy) and exit")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile taken after the study to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *traceSum != "" {
+		if err := summarizeTrace(*traceSum, stdout); err != nil {
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *conv {
 		var names []string
@@ -85,11 +128,11 @@ func main() {
 		}
 		res, err := study.RunConvergence(names, *scale)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
 		}
-		fmt.Print(res.Render())
-		return
+		fmt.Fprint(stdout, res.Render())
+		return 0
 	}
 
 	if *ext {
@@ -99,32 +142,87 @@ func main() {
 		}
 		res, err := study.RunExtensions(names, *scale, *extT)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
 		}
-		fmt.Print(res.Render())
-		return
+		fmt.Fprint(stdout, res.Render())
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := study.Config{Scale: *scale, IndependentRuns: *indep, Parallelism: *par}
 	if *verbose {
-		cfg.Progress = os.Stderr
+		cfg.Progress = stderr
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
 			b := spec.ByName(strings.TrimSpace(name))
 			if b == nil {
-				fmt.Fprintf(os.Stderr, "inipstudy: unknown benchmark %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "inipstudy: unknown benchmark %q\n", name)
+				return 2
 			}
 			cfg.Benchmarks = append(cfg.Benchmarks, b)
 		}
 	}
 
+	var traceOut *os.File
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
+		}
+		traceOut = f
+		cfg.Trace = obs.NewRecorder(f)
+	}
+
 	res, err := study.Run(cfg)
+	if cfg.Trace != nil {
+		dropped, cerr := cfg.Trace.Close()
+		if err == nil && cerr != nil {
+			fmt.Fprintf(stderr, "inipstudy: trace: %v\n", cerr)
+			traceOut.Close()
+			return 1
+		}
+		if ferr := traceOut.Close(); err == nil && ferr != nil {
+			fmt.Fprintf(stderr, "inipstudy: trace: %v\n", ferr)
+			return 1
+		}
+		if err == nil {
+			fmt.Fprintf(stderr, "wrote %s (%d events dropped)\n", *traceFile, dropped)
+		}
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+		return 1
+	}
+
+	if *memProfile != "" {
+		f, cerr := os.Create(*memProfile)
+		if cerr == nil {
+			runtime.GC()
+			cerr = pprof.WriteHeapProfile(f)
+			if ferr := f.Close(); cerr == nil {
+				cerr = ferr
+			}
+		}
+		if cerr != nil {
+			fmt.Fprintf(stderr, "inipstudy: memprofile: %v\n", cerr)
+			return 1
+		}
 	}
 
 	if *benchJSON != "" {
@@ -133,20 +231,20 @@ func main() {
 			nbench = len(spec.Suite())
 		}
 		if err := writeBenchJSON(*benchJSON, res, nbench, *benchBase); err != nil {
-			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (wall %.1fs, %.2fM blocks/s)\n",
+		fmt.Fprintf(stderr, "wrote %s (wall %.1fs, %.2fM blocks/s)\n",
 			*benchJSON, res.Perf.WallSeconds, res.Perf.BlocksPerSec/1e6)
 	}
 
 	if *asMD != "" {
 		if err := os.WriteFile(*asMD, []byte(res.MarkdownReport()), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *asMD)
-		return
+		fmt.Fprintf(stderr, "wrote %s\n", *asMD)
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -163,33 +261,34 @@ func main() {
 		}
 	}
 	if len(out) == 0 {
-		fmt.Fprintf(os.Stderr, "inipstudy: no figures match %q\n", *figSel)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "inipstudy: no figures match %q\n", *figSel)
+		return 2
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "inipstudy: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	for _, f := range out {
-		fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
+		fmt.Fprintf(stdout, "== %s: %s ==\n", f.ID, f.Title)
 		series := make([]textplot.Series, len(f.Series))
 		for i, s := range f.Series {
 			series[i] = textplot.Series{Label: s.Label, Y: s.Y}
 		}
-		fmt.Print(textplot.Table("T", f.X, series))
+		fmt.Fprint(stdout, textplot.Table("T", f.X, series))
 		if *chart {
-			fmt.Print(textplot.Chart(f.X, series, 72, 18))
+			fmt.Fprint(stdout, textplot.Chart(f.X, series, 72, 18))
 		}
 		for _, n := range f.Notes {
-			fmt.Printf("note: %s\n", n)
+			fmt.Fprintf(stdout, "note: %s\n", n)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }

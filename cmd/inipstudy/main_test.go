@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSmokeFigurePipeline runs the real figure pipeline at tiny scale on
+// a two-benchmark subset and validates the observability outputs: the
+// -benchjson record parses against its schema with live counters, the
+// -trace file parses against the flight-recorder schema, per-phase event
+// durations reconcile with the Perf phase totals, and tracing leaves the
+// figure output byte-identical.
+func TestSmokeFigurePipeline(t *testing.T) {
+	dir := t.TempDir()
+	benchJSON := filepath.Join(dir, "bench.json")
+	traceFile := filepath.Join(dir, "trace.jsonl")
+
+	base := []string{"-scale", "0.001", "-bench", "gzip,swim", "-fig", "fig8"}
+
+	var plain bytes.Buffer
+	if code := run(base, &plain, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("plain run exited %d", code)
+	}
+	if !strings.Contains(plain.String(), "fig8") {
+		t.Fatalf("figure output missing fig8:\n%s", plain.String())
+	}
+
+	var traced bytes.Buffer
+	args := append([]string{"-trace", traceFile, "-benchjson", benchJSON}, base...)
+	if code := run(args, &traced, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("traced run exited %d", code)
+	}
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Fatal("figure output differs with tracing enabled")
+	}
+
+	// -benchjson schema: strict-decode into the writer's own struct, then
+	// sanity-check the counters a real run cannot leave at zero.
+	raw, err := os.ReadFile(benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("benchjson schema: %v\n%s", err, raw)
+	}
+	if rep.Scale != 0.001 || rep.Benchmarks != 2 || rep.Workers < 1 {
+		t.Fatalf("benchjson header wrong: %+v", rep)
+	}
+	if rep.BlocksExecuted == 0 || rep.Translations == 0 || rep.CacheLookups == 0 ||
+		rep.FastDispatches == 0 || rep.InterruptPolls == 0 {
+		t.Fatalf("benchjson counters empty: %+v", rep)
+	}
+	if rep.FastDispatches+rep.GenericDispatches != rep.BlocksExecuted {
+		t.Fatalf("dispatch split %d+%d != %d blocks",
+			rep.FastDispatches, rep.GenericDispatches, rep.BlocksExecuted)
+	}
+	if rep.TraceEventsDropped != 0 {
+		t.Fatalf("tiny-scale run dropped %d trace events", rep.TraceEventsDropped)
+	}
+
+	// -trace schema: the strict reader rejects unknown fields and invalid
+	// units, so a clean parse is the schema check.
+	tf, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(tf)
+	tf.Close()
+	if err != nil {
+		t.Fatalf("trace schema: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file has no events")
+	}
+
+	// Per-phase event durations must reconcile with the Perf totals: both
+	// are fed from the same measured spans, so 5% is generous slack for
+	// clock granularity.
+	sums := map[string]float64{}
+	benches := map[string]bool{}
+	for _, ev := range events {
+		sums[ev.Unit] += float64(ev.DurNS) / 1e9
+		benches[ev.Bench] = true
+	}
+	if !benches["gzip"] || !benches["swim"] {
+		t.Fatalf("trace missing benchmarks: %v", benches)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"build", sums[obs.UnitBuild], rep.BuildSeconds},
+		{"ref", sums[obs.UnitRef], rep.RefRunSeconds},
+		{"train", sums[obs.UnitTrain], rep.TrainSeconds},
+		{"compare", sums[obs.UnitCompare] + sums[obs.UnitTrainCompare], rep.CompareSeconds},
+	}
+	for _, c := range checks {
+		if c.want == 0 {
+			t.Fatalf("Perf phase %s is zero", c.name)
+		}
+		if math.Abs(c.got-c.want) > 0.05*c.want {
+			t.Fatalf("phase %s: trace sum %.6fs vs Perf %.6fs (>5%%)", c.name, c.got, c.want)
+		}
+	}
+
+	// -tracesum renders the recorded file.
+	var sum bytes.Buffer
+	if code := run([]string{"-tracesum", traceFile}, &sum, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("-tracesum exited %d", code)
+	}
+	for _, want := range []string{"phase", "build", "compare", "worker occupancy"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Fatalf("-tracesum output missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// TestSmokeProfiles: the pprof hooks must produce non-empty profile
+// files without disturbing the run.
+func TestSmokeProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	args := []string{"-scale", "0.001", "-bench", "gzip", "-fig", "fig8",
+		"-cpuprofile", cpu, "-memprofile", mem}
+	if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 0 {
+		t.Fatalf("profiled run exited %d", code)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// TestBadFlags: unknown benchmarks and figures are usage errors.
+func TestBadFlags(t *testing.T) {
+	if code := run([]string{"-bench", "nosuch"}, new(bytes.Buffer), new(bytes.Buffer)); code != 2 {
+		t.Fatalf("unknown benchmark exited %d, want 2", code)
+	}
+	if code := run([]string{"-scale", "0.001", "-bench", "gzip", "-fig", "fig99"},
+		new(bytes.Buffer), new(bytes.Buffer)); code != 2 {
+		t.Fatalf("unknown figure exited %d, want 2", code)
+	}
+}

@@ -145,6 +145,19 @@ func TestFastPathMatchesGenericDispatch(t *testing.T) {
 			if !reflect.DeepEqual(fast.snap, slow.snap) {
 				t.Fatalf("fast-path snapshot differs from generic dispatch")
 			}
+			// The dispatch-split counters are the one pair that must
+			// differ between the modes: all fast on one side, all generic
+			// on the other, summing to the same execution volume.
+			if fast.stats.GenericDispatches != 0 || slow.stats.FastDispatches != 0 ||
+				fast.stats.FastDispatches != slow.stats.GenericDispatches ||
+				fast.stats.FastDispatches != fast.stats.BlocksExecuted {
+				t.Fatalf("dispatch split wrong: fast %d/%d, slow %d/%d, blocks %d",
+					fast.stats.FastDispatches, fast.stats.GenericDispatches,
+					slow.stats.FastDispatches, slow.stats.GenericDispatches,
+					fast.stats.BlocksExecuted)
+			}
+			fast.stats.FastDispatches, fast.stats.GenericDispatches = 0, 0
+			slow.stats.FastDispatches, slow.stats.GenericDispatches = 0, 0
 			if !reflect.DeepEqual(fast.stats, slow.stats) {
 				t.Fatalf("fast-path stats differ: %+v vs %+v", fast.stats, slow.stats)
 			}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/metrics"
 	"repro/internal/navep"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/profile"
 	"repro/internal/region"
@@ -110,6 +111,11 @@ type Options struct {
 	// Timing, when non-nil, accumulates per-phase durations and run
 	// volume across all units of the benchmark.
 	Timing *Timing
+	// Trace, when non-nil, receives one flight-recorder event per
+	// completed pipeline span. Spans are measured over exactly the
+	// intervals the Timing phase buckets accumulate, so per-phase trace
+	// sums reconcile with the study's Perf totals.
+	Trace *obs.Recorder
 }
 
 // Timing aggregates where a study's wall-clock went. Durations are
@@ -123,6 +129,34 @@ type Timing struct {
 	// BlocksExecuted totals dynamic block executions over all run units
 	// (each profiling context counts its own pass over the trace).
 	BlocksExecuted atomic.Uint64
+
+	// Engine-counter aggregates (see dbt.RunStats), summed over every
+	// profiling context of every run unit.
+	Translations      atomic.Int64
+	Retranslations    atomic.Int64
+	OptimizationWaves atomic.Int64
+	RegionsFormed     atomic.Int64
+	RegionsDissolved  atomic.Int64
+	FastDispatches    atomic.Uint64
+	GenericDispatches atomic.Uint64
+	CacheLookups      atomic.Uint64
+	InterruptPolls    atomic.Uint64
+	FreezeEvents      atomic.Uint64
+}
+
+// AddRunStats folds one run's engine counters into the aggregate.
+func (t *Timing) AddRunStats(st *dbt.RunStats) {
+	t.BlocksExecuted.Add(st.BlocksExecuted)
+	t.Translations.Add(int64(st.BlocksTranslated))
+	t.Retranslations.Add(int64(st.Retranslations))
+	t.OptimizationWaves.Add(int64(st.OptimizationWaves))
+	t.RegionsFormed.Add(int64(st.RegionsFormed))
+	t.RegionsDissolved.Add(int64(st.RegionsDissolved))
+	t.FastDispatches.Add(st.FastDispatches)
+	t.GenericDispatches.Add(st.GenericDispatches)
+	t.CacheLookups.Add(st.CacheLookups)
+	t.InterruptPolls.Add(st.InterruptPolls)
+	t.FreezeEvents.Add(st.FreezeEvents)
 }
 
 // ThresholdResult is the outcome of one INIP(T) run compared to AVEP.
@@ -269,6 +303,34 @@ func (b *benchRun) finishItem() {
 	}
 }
 
+// record closes a measured span: the duration lands in the matching
+// Timing phase bucket and — when tracing is on — one flight-recorder
+// event is emitted. Both observers are fed from the same interval, so
+// trace per-phase sums reconcile exactly with the Perf phase totals.
+func (b *benchRun) record(unit string, threshold uint64, worker int, start time.Time, blocks uint64, err error) {
+	dur := time.Since(start)
+	if tm := b.opts.Timing; tm != nil {
+		switch unit {
+		case obs.UnitBuild:
+			tm.Build.Add(int64(dur))
+		case obs.UnitRef:
+			tm.RefRuns.Add(int64(dur))
+		case obs.UnitTrain:
+			tm.TrainRuns.Add(int64(dur))
+		case obs.UnitCompare, obs.UnitTrainCompare:
+			tm.Compare.Add(int64(dur))
+		}
+	}
+	b.opts.Trace.Record(b.t.Name, unit, threshold, worker, start, dur, blocks, err)
+}
+
+// addRunStats folds one run's engine counters into the study aggregate.
+func (b *benchRun) addRunStats(st *dbt.RunStats) {
+	if b.opts.Timing != nil {
+		b.opts.Timing.AddRunStats(st)
+	}
+}
+
 // ScheduleBenchmark decomposes the three-way study of one target into
 // run units on the scheduler: the reference unit (AVEP — and, unless
 // IndependentRuns is set, the whole INIP ladder replayed over its
@@ -282,6 +344,13 @@ func (b *benchRun) finishItem() {
 // the two run units finishes second. No unit ever holds a pool slot
 // while waiting, so the pipeline cannot deadlock at any pool size.
 func ScheduleBenchmark(s *Scheduler, t Target, opts Options, onDone func(*BenchmarkResult)) {
+	scheduleBenchmark(s, t, opts, onDone)
+}
+
+// scheduleBenchmark is ScheduleBenchmark returning the in-flight state,
+// which the fail-fast regression tests inspect (results must stay
+// untouched when units are dropped).
+func scheduleBenchmark(s *Scheduler, t Target, opts Options, onDone func(*BenchmarkResult)) *benchRun {
 	b := &benchRun{
 		s:      s,
 		t:      t,
@@ -295,10 +364,11 @@ func ScheduleBenchmark(s *Scheduler, t Target, opts Options, onDone func(*Benchm
 	b.remaining = len(opts.Thresholds) + 3
 	if t.Build == nil {
 		s.Go(func() error { return fmt.Errorf("core: target %q has no builder", t.Name) })
-		return
+		return b
 	}
-	s.Go(b.refUnit)
-	s.Go(b.trainUnit)
+	s.GoW(b.refUnit)
+	s.GoW(b.trainUnit)
+	return b
 }
 
 // interruptedConfig attaches the scheduler's fail-fast channel.
@@ -310,15 +380,12 @@ func (b *benchRun) dbtConfig(input string, threshold uint64, optimize bool) dbt.
 
 // refUnit produces the AVEP snapshot (and, in shared-trace mode, every
 // INIP(T) snapshot alongside it), then fans out the comparison units.
-func (b *benchRun) refUnit() error {
-	tm := b.opts.Timing
+func (b *benchRun) refUnit(worker int) error {
 	start := time.Now()
 	img, tape, err := b.build.get("ref")
+	b.record(obs.UnitBuild, 0, worker, start, 0, err)
 	if err != nil {
 		return err
-	}
-	if tm != nil {
-		tm.Build.Add(int64(time.Since(start)))
 	}
 
 	avepCfg := b.dbtConfig("ref", 0, false)
@@ -326,42 +393,57 @@ func (b *benchRun) refUnit() error {
 		start = time.Now()
 		avep, stats, err := dbt.Run(img, tape, avepCfg)
 		if err != nil {
-			return fmt.Errorf("core: AVEP run of %s: %w", b.t.Name, err)
+			err = fmt.Errorf("core: AVEP run of %s: %w", b.t.Name, err)
+			b.record(obs.UnitRef, 0, worker, start, 0, err)
+			return err
 		}
-		if tm != nil {
-			tm.RefRuns.Add(int64(time.Since(start)))
-			tm.BlocksExecuted.Add(stats.BlocksExecuted)
-		}
+		b.addRunStats(stats)
+		b.record(obs.UnitRef, 0, worker, start, stats.BlocksExecuted, nil)
 		b.recordAVEP(avep, avepCfg)
 		for i, threshold := range b.opts.Thresholds {
 			i, threshold := i, threshold
-			b.s.Go(func() error { return b.inipUnit(i, threshold) })
+			b.s.GoW(func(w int) error { return b.inipUnit(i, threshold, w) })
 		}
 	} else {
+		// A ladder scaled far down collapses: several paper-unit rungs
+		// clamp to the same effective threshold, and identical configs
+		// would replay identical follower engines. Deduplicate — one
+		// follower per distinct threshold — and fan the shared result
+		// out to every collapsed rung (figure labels keep paper units).
 		cfgs := make([]dbt.Config, 0, len(b.opts.Thresholds)+1)
 		cfgs = append(cfgs, avepCfg)
-		for _, threshold := range b.opts.Thresholds {
+		var rungs [][]int // rungs[j]: ladder indexes served by cfgs[j+1]
+		byThreshold := make(map[uint64]int, len(b.opts.Thresholds))
+		for i, threshold := range b.opts.Thresholds {
+			if j, ok := byThreshold[threshold]; ok {
+				rungs[j] = append(rungs[j], i)
+				continue
+			}
+			byThreshold[threshold] = len(rungs)
+			rungs = append(rungs, []int{i})
 			cfgs = append(cfgs, b.dbtConfig("ref", threshold, true))
 		}
 		start = time.Now()
 		snaps, stats, err := dbt.RunMulti(img, tape, cfgs)
 		if err != nil {
-			return fmt.Errorf("core: reference runs of %s: %w", b.t.Name, err)
+			err = fmt.Errorf("core: reference runs of %s: %w", b.t.Name, err)
+			b.record(obs.UnitRef, 0, worker, start, 0, err)
+			return err
 		}
-		if tm != nil {
-			tm.RefRuns.Add(int64(time.Since(start)))
-			for _, st := range stats {
-				tm.BlocksExecuted.Add(st.BlocksExecuted)
-			}
+		var blocks uint64
+		for _, st := range stats {
+			b.addRunStats(st)
+			blocks += st.BlocksExecuted
 		}
+		b.record(obs.UnitRef, 0, worker, start, blocks, nil)
 		b.recordAVEP(snaps[0], avepCfg)
-		for i := range b.opts.Thresholds {
-			i := i
-			snap, st, cfg := snaps[i+1], stats[i+1], cfgs[i+1]
-			b.s.Go(func() error { return b.compareUnit(i, snap, st, cfg) })
+		for j := range rungs {
+			idxs := rungs[j]
+			snap, st, cfg := snaps[j+1], stats[j+1], cfgs[j+1]
+			b.s.GoW(func(w int) error { return b.compareUnit(idxs, snap, st, cfg, w) })
 		}
 	}
-	b.maybeCompareTrain()
+	b.maybeCompareTrain(worker)
 	b.finishItem()
 	return nil
 }
@@ -380,88 +462,85 @@ func (b *benchRun) recordAVEP(avep *profile.Snapshot, cfg dbt.Config) {
 }
 
 // inipUnit runs one independent INIP(T) execution and compares it.
-func (b *benchRun) inipUnit(i int, threshold uint64) error {
-	tm := b.opts.Timing
+func (b *benchRun) inipUnit(i int, threshold uint64, worker int) error {
 	start := time.Now()
 	img, tape, err := b.build.get("ref")
+	b.record(obs.UnitBuild, threshold, worker, start, 0, err)
 	if err != nil {
 		return err
-	}
-	if tm != nil {
-		tm.Build.Add(int64(time.Since(start)))
 	}
 	cfg := b.dbtConfig("ref", threshold, true)
 	start = time.Now()
 	snap, stats, err := dbt.Run(img, tape, cfg)
 	if err != nil {
-		return fmt.Errorf("core: INIP(%d) run of %s: %w", threshold, b.t.Name, err)
+		err = fmt.Errorf("core: INIP(%d) run of %s: %w", threshold, b.t.Name, err)
+		b.record(obs.UnitRef, threshold, worker, start, 0, err)
+		return err
 	}
-	if tm != nil {
-		tm.RefRuns.Add(int64(time.Since(start)))
-		tm.BlocksExecuted.Add(stats.BlocksExecuted)
-	}
-	return b.compareUnit(i, snap, stats, cfg)
+	b.addRunStats(stats)
+	b.record(obs.UnitRef, threshold, worker, start, stats.BlocksExecuted, nil)
+	return b.compareUnit([]int{i}, snap, stats, cfg, worker)
 }
 
 // compareUnit evaluates one INIP(T) snapshot against the AVEP memo and
-// writes the i-th ladder entry (index-owned, no lock needed).
-func (b *benchRun) compareUnit(i int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config) error {
-	threshold := b.opts.Thresholds[i]
-	tm := b.opts.Timing
+// writes every ladder entry it serves — one in independent mode,
+// several when collapsed rungs share a follower (indexes are
+// rung-owned, no lock needed). The comparison runs once; collapsed
+// rungs receive identical results under their own paper-unit labels.
+func (b *benchRun) compareUnit(idxs []int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config, worker int) error {
 	start := time.Now()
 	summary, norm, err := Compare(snap, b.out.AVEP)
 	if err != nil {
-		return fmt.Errorf("core: INIP(%d) comparison of %s: %w", threshold, b.t.Name, err)
+		err = fmt.Errorf("core: INIP(%d) comparison of %s: %w", cfg.Threshold, b.t.Name, err)
+		b.record(obs.UnitCompare, cfg.Threshold, worker, start, 0, err)
+		return err
 	}
-	if tm != nil {
-		tm.Compare.Add(int64(time.Since(start)))
+	b.record(obs.UnitCompare, cfg.Threshold, worker, start, 0, nil)
+	for _, i := range idxs {
+		tr := ThresholdResult{
+			T:            b.opts.Thresholds[i],
+			Summary:      summary,
+			ProfilingOps: snap.ProfilingOps,
+			Stats:        *stats,
+		}
+		if b.opts.KeepNormalized {
+			tr.Normalized = norm
+		}
+		if cfg.Perf != nil {
+			tr.Cycles = cfg.Perf.Cycles
+		}
+		if b.opts.KeepSnapshots {
+			tr.Snapshot = snap
+		}
+		b.out.Results[i] = tr
+		b.finishItem()
 	}
-	tr := ThresholdResult{
-		T:            threshold,
-		Summary:      summary,
-		ProfilingOps: snap.ProfilingOps,
-		Stats:        *stats,
-	}
-	if b.opts.KeepNormalized {
-		tr.Normalized = norm
-	}
-	if cfg.Perf != nil {
-		tr.Cycles = cfg.Perf.Cycles
-	}
-	if b.opts.KeepSnapshots {
-		tr.Snapshot = snap
-	}
-	b.out.Results[i] = tr
-	b.finishItem()
 	return nil
 }
 
 // trainUnit runs INIP(train) and stores its snapshot for the training
 // comparison.
-func (b *benchRun) trainUnit() error {
-	tm := b.opts.Timing
+func (b *benchRun) trainUnit(worker int) error {
 	start := time.Now()
 	img, tape, err := b.build.get("train")
+	b.record(obs.UnitBuild, 0, worker, start, 0, err)
 	if err != nil {
 		return err
-	}
-	if tm != nil {
-		tm.Build.Add(int64(time.Since(start)))
 	}
 	start = time.Now()
 	train, stats, err := dbt.Run(img, tape, b.dbtConfig("train", 0, false))
 	if err != nil {
-		return fmt.Errorf("core: train run of %s: %w", b.t.Name, err)
+		err = fmt.Errorf("core: train run of %s: %w", b.t.Name, err)
+		b.record(obs.UnitTrain, 0, worker, start, 0, err)
+		return err
 	}
-	if tm != nil {
-		tm.TrainRuns.Add(int64(time.Since(start)))
-		tm.BlocksExecuted.Add(stats.BlocksExecuted)
-	}
+	b.addRunStats(stats)
+	b.record(obs.UnitTrain, 0, worker, start, stats.BlocksExecuted, nil)
 	b.out.TrainOps = train.ProfilingOps
 	b.mu.Lock()
 	b.train = train
 	b.mu.Unlock()
-	b.maybeCompareTrain()
+	b.maybeCompareTrain(worker)
 	b.finishItem()
 	return nil
 }
@@ -469,7 +548,7 @@ func (b *benchRun) trainUnit() error {
 // maybeCompareTrain runs the training comparison in whichever run unit
 // finishes second — at that point it already holds a pool slot, so the
 // work runs inline instead of being queued.
-func (b *benchRun) maybeCompareTrain() {
+func (b *benchRun) maybeCompareTrain(worker int) {
 	b.mu.Lock()
 	ready := b.avep != nil && b.train != nil && !b.trainCompared
 	if ready {
@@ -480,30 +559,31 @@ func (b *benchRun) maybeCompareTrain() {
 	if !ready {
 		return
 	}
-	if err := b.compareTrain(train); err != nil {
+	if err := b.compareTrain(train, worker); err != nil {
 		b.s.fail(err)
 		return
 	}
 	b.finishItem()
 }
 
-func (b *benchRun) compareTrain(train *profile.Snapshot) error {
-	tm := b.opts.Timing
+func (b *benchRun) compareTrain(train *profile.Snapshot, worker int) error {
 	start := time.Now()
 	var err error
 	if b.out.Train, _, err = Compare(train, b.out.AVEP); err != nil {
-		return fmt.Errorf("core: train comparison of %s: %w", b.t.Name, err)
+		err = fmt.Errorf("core: train comparison of %s: %w", b.t.Name, err)
+		b.record(obs.UnitTrainCompare, 0, worker, start, 0, err)
+		return err
 	}
 	// Offline region formation over the training profile: the paper's
 	// proposed extension for obtaining Sd.CP(train) and Sd.LP(train).
 	const trainRegionThreshold = 2000
 	trainWithRegions := region.WithOfflineRegions(train, trainRegionThreshold, region.Config{})
 	if b.out.TrainRegions, _, err = Compare(trainWithRegions, b.out.AVEP); err != nil {
-		return fmt.Errorf("core: train region comparison of %s: %w", b.t.Name, err)
+		err = fmt.Errorf("core: train region comparison of %s: %w", b.t.Name, err)
+		b.record(obs.UnitTrainCompare, 0, worker, start, 0, err)
+		return err
 	}
-	if tm != nil {
-		tm.Compare.Add(int64(time.Since(start)))
-	}
+	b.record(obs.UnitTrainCompare, 0, worker, start, 0, nil)
 	return nil
 }
 

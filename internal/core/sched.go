@@ -11,29 +11,44 @@ import (
 )
 
 // Scheduler is a bounded worker pool with first-error fail-fast. Units
-// are scheduled with Go — including from inside a running unit, which is
-// how dependent stages (e.g. the per-threshold comparisons that need the
-// AVEP snapshot) are spawned without ever blocking a pool slot on an
-// unfinished dependency.
+// are scheduled with Go/GoW — including from inside a running unit,
+// which is how dependent stages (e.g. the per-threshold comparisons
+// that need the AVEP snapshot) are spawned without ever blocking a pool
+// slot on an unfinished dependency.
+//
+// Pool slots carry stable ids in [0, Workers): a unit learns which slot
+// it occupies (GoW), which is what lets the observability layer plot
+// worker occupancy from the flight-recorder events.
 type Scheduler struct {
-	sem  chan struct{}
-	done chan struct{}
-	once sync.Once
-	err  error
-	wg   sync.WaitGroup
+	ids     chan int
+	workers int
+	done    chan struct{}
+	once    sync.Once
+	err     error
+	wg      sync.WaitGroup
 }
 
 // NewScheduler returns a scheduler running at most workers units
-// concurrently (default: GOMAXPROCS).
+// concurrently. The default (workers <= 0) is GOMAXPROCS, which —
+// unlike NumCPU — respects cgroup quotas and GOMAXPROCS overrides.
 func NewScheduler(workers int) *Scheduler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ids := make(chan int, workers)
+	for i := 0; i < workers; i++ {
+		ids <- i
+	}
 	return &Scheduler{
-		sem:  make(chan struct{}, workers),
-		done: make(chan struct{}),
+		ids:     ids,
+		workers: workers,
+		done:    make(chan struct{}),
 	}
 }
+
+// Workers reports the resolved pool size — the number the scheduler
+// actually runs with, not the possibly-zero value it was asked for.
+func (s *Scheduler) Workers() int { return s.workers }
 
 // Done returns a channel closed when the scheduler has failed. Units
 // pass it to dbt.Config.Interrupt so in-flight translator runs stop
@@ -48,24 +63,31 @@ func (s *Scheduler) fail(err error) {
 	})
 }
 
-// Go schedules a unit. Units scheduled after a failure, or still waiting
-// for a slot when one happens, are dropped.
+// Go schedules a unit that does not need its worker id.
 func (s *Scheduler) Go(f func() error) {
+	s.GoW(func(int) error { return f() })
+}
+
+// GoW schedules a unit, passing it the id of the pool slot it runs on.
+// Units scheduled after a failure, or still waiting for a slot when one
+// happens, are dropped.
+func (s *Scheduler) GoW(f func(worker int) error) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		var id int
 		select {
-		case s.sem <- struct{}{}:
+		case id = <-s.ids:
 		case <-s.done:
 			return
 		}
-		defer func() { <-s.sem }()
+		defer func() { s.ids <- id }()
 		select {
 		case <-s.done:
 			return
 		default:
 		}
-		if err := f(); err != nil {
+		if err := f(id); err != nil {
 			s.fail(err)
 		}
 	}()

@@ -160,8 +160,10 @@ taken:
 // independent-run pipeline, and any worker count must all produce the
 // identical benchmark result.
 func TestScheduledModesAgree(t *testing.T) {
+	// The duplicate rung exercises the shared-trace dedup fan-out, which
+	// must be invisible next to independent mode's genuine repeat runs.
 	target := BuildFromAsm("modes", counterProgram())
-	opts := Options{Thresholds: []uint64{20, 50, 100}, Perf: true, KeepNormalized: true}
+	opts := Options{Thresholds: []uint64{20, 50, 50, 100}, Perf: true, KeepNormalized: true}
 
 	ref, err := RunBenchmark(target, opts)
 	if err != nil {

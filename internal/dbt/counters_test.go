@@ -1,0 +1,90 @@
+package dbt
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// TestEngineCounters: the observability counters must be internally
+// consistent — dispatch split sums to the execution volume, freezes and
+// retranslations appear when the optimizer runs, and interrupt
+// checkpoints track the 4096-block cadence.
+func TestEngineCounters(t *testing.T) {
+	img := buildLooper(t, 4000, 2400)
+	cfg := Config{Input: "ref", Optimize: true, Threshold: 40, RegisterTwice: true}
+
+	_, st, err := Run(img, interp.NewUniformTape("ctr/ref"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FastDispatches == 0 {
+		t.Fatal("fast path never dispatched on a fully lowerable program")
+	}
+	if st.FastDispatches+st.GenericDispatches != st.BlocksExecuted {
+		t.Fatalf("dispatch split %d+%d != %d blocks executed",
+			st.FastDispatches, st.GenericDispatches, st.BlocksExecuted)
+	}
+	if st.OptimizationWaves == 0 || st.Retranslations == 0 || st.FreezeEvents == 0 {
+		t.Fatalf("optimizer counters empty despite waves: %+v", st)
+	}
+	if st.Retranslations < st.RegionsFormed {
+		t.Fatalf("retranslations %d < regions formed %d", st.Retranslations, st.RegionsFormed)
+	}
+	if st.CacheLookups == 0 {
+		t.Fatal("no cache lookups recorded")
+	}
+	wantPolls := st.BlocksExecuted / (interruptCheckMask + 1)
+	if st.InterruptPolls != wantPolls {
+		t.Fatalf("interrupt polls = %d, want %d for %d blocks",
+			st.InterruptPolls, wantPolls, st.BlocksExecuted)
+	}
+
+	// The generic path books every dispatch on the other side; the
+	// execution volume itself must not change.
+	slow := cfg
+	slow.DisableFastPath = true
+	_, sst, err := Run(img, interp.NewUniformTape("ctr/ref"), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.FastDispatches != 0 {
+		t.Fatalf("DisableFastPath run recorded %d fast dispatches", sst.FastDispatches)
+	}
+	if sst.GenericDispatches != st.BlocksExecuted || sst.BlocksExecuted != st.BlocksExecuted {
+		t.Fatalf("generic run volume differs: %d blocks / %d generic, want %d",
+			sst.BlocksExecuted, sst.GenericDispatches, st.BlocksExecuted)
+	}
+}
+
+// TestCountersMatchAcrossSharedTrace: RunMulti followers must report
+// the same counter block a serial run does — covered in aggregate by
+// TestRunMultiMatchesSerialRuns's DeepEqual, asserted here field-wise
+// for the counters so a future stats split cannot silently exempt them.
+func TestCountersMatchAcrossSharedTrace(t *testing.T) {
+	img := buildLooper(t, 3000, 1800)
+	cfgs := []Config{
+		{Input: "ref", Optimize: false},
+		{Input: "ref", Optimize: true, Threshold: 30, RegisterTwice: true},
+		{Input: "ref", Optimize: true, Threshold: 30, RegisterTwice: true, DisableFastPath: true},
+	}
+	_, multi, err := RunMulti(img, interp.NewUniformTape("ctr/m"), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		_, serial, err := Run(img, interp.NewUniformTape("ctr/m"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, s := multi[i], serial
+		if m.FastDispatches != s.FastDispatches ||
+			m.GenericDispatches != s.GenericDispatches ||
+			m.CacheLookups != s.CacheLookups ||
+			m.InterruptPolls != s.InterruptPolls ||
+			m.FreezeEvents != s.FreezeEvents ||
+			m.Retranslations != s.Retranslations {
+			t.Fatalf("config %d: follower counters differ from serial\n got: %+v\nwant: %+v", i, m, s)
+		}
+	}
+}

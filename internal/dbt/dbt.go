@@ -227,6 +227,11 @@ func (rt *regionRT) continuousLP() (float64, bool) {
 
 // RunStats reports what happened during a run, beyond the profile
 // snapshot itself.
+//
+// Every field is deterministic for a given (image, tape, Config): the
+// shared-trace followers of RunMulti report bit-for-bit the statistics
+// a serial Run would have, which the equivalence tests assert by
+// reflect.DeepEqual over this whole struct.
 type RunStats struct {
 	BlocksExecuted    uint64
 	Instructions      uint64
@@ -240,6 +245,31 @@ type RunStats struct {
 	// RegionsDissolved counts regions torn down by the adaptive mode.
 	RegionsDissolved int
 	Cycles           float64
+
+	// Engine counters (the observability layer). Kept cheap: plain
+	// increments on engine-local state, no atomics, no branches beyond
+	// what the run loop already pays.
+
+	// Retranslations counts blocks handed to the optimizer by waves
+	// (candidate-pool members; the paper's "retranslation" of a block
+	// into optimized code).
+	Retranslations int
+	// FastDispatches/GenericDispatches split dynamic block executions
+	// by execution path: pre-lowered records vs the generic interp.Exec
+	// dispatch (DisableFastPath, or a block the lowerer declined). They
+	// sum to BlocksExecuted.
+	FastDispatches    uint64
+	GenericDispatches uint64
+	// CacheLookups counts translation-cache probes (hot-loop successor
+	// chaining exists precisely to keep this far below BlocksExecuted).
+	CacheLookups uint64
+	// InterruptPolls counts interrupt checkpoints reached (every 4096th
+	// block execution). Engines without an interrupt channel count
+	// checkpoints too, so shared-trace followers match serial runs.
+	InterruptPolls uint64
+	// FreezeEvents counts profiling counters frozen at optimization
+	// (transitions only; adaptive dissolution may unfreeze and refreeze).
+	FreezeEvents uint64
 }
 
 // Engine is a two-phase DBT instance bound to one guest image and tape.
@@ -273,6 +303,7 @@ type Engine struct {
 	interrupt <-chan struct{}
 	optimize  bool
 	converge  bool
+	fastPath  bool
 	threshold uint64
 	perf      *perfmodel.Accumulator
 }
@@ -313,6 +344,7 @@ func New(img *guest.Image, tape interp.Tape, cfg Config) (*Engine, error) {
 		interrupt: cfg.Interrupt,
 		optimize:  cfg.Optimize,
 		converge:  cfg.ConvergeRegister,
+		fastPath:  !cfg.DisableFastPath,
 		threshold: cfg.Threshold,
 		perf:      cfg.Perf,
 	}, nil
@@ -324,6 +356,7 @@ func (e *Engine) State() *interp.State { return e.st }
 
 // lookup returns the cached block at addr, or nil.
 func (e *Engine) lookup(addr int) *tblock {
+	e.stats.CacheLookups++
 	if addr < 0 || addr >= len(e.cache) {
 		return nil
 	}
@@ -462,6 +495,7 @@ func (e *Engine) register(tb *tblock) bool {
 // pool.
 func (e *Engine) optimizeWave() {
 	e.stats.OptimizationWaves++
+	e.stats.Retranslations += len(e.pool)
 	formed := e.former.Form(e, e.pool)
 	for _, r := range formed {
 		rt := newRegionRT(r)
@@ -486,16 +520,18 @@ func (e *Engine) optimizeWave() {
 	// for all of them (frozen counters), not only for region members.
 	if !e.cfg.DisableFreeze {
 		for _, addr := range e.pool {
-			if tb := e.lookup(addr); tb != nil {
+			if tb := e.lookup(addr); tb != nil && !tb.frozen {
 				tb.frozen = true
+				e.stats.FreezeEvents++
 			}
 		}
 		// Region members that were absorbed without being candidates
 		// freeze too: they were rebuilt into region code.
 		for _, r := range formed {
 			for i := range r.Blocks {
-				if tb := e.lookup(r.Blocks[i].Addr); tb != nil {
+				if tb := e.lookup(r.Blocks[i].Addr); tb != nil && !tb.frozen {
 					tb.frozen = true
+					e.stats.FreezeEvents++
 				}
 			}
 		}
@@ -650,8 +686,15 @@ func (e *Engine) preExec() error {
 	if e.budget > 0 && e.stats.BlocksExecuted > e.budget {
 		return e.budgetExhausted()
 	}
-	if e.interrupt != nil && e.stats.BlocksExecuted&interruptCheckMask == 0 {
-		return e.pollInterrupt()
+	if e.stats.BlocksExecuted&interruptCheckMask == 0 {
+		// Checkpoints count on every engine — with or without an
+		// interrupt channel — so shared-trace followers (whose channel
+		// is stripped; the driver polls for them) report the same
+		// counter a serial run would.
+		e.stats.InterruptPolls++
+		if e.interrupt != nil {
+			return e.pollInterrupt()
+		}
 	}
 	return nil
 }
@@ -682,6 +725,15 @@ func (e *Engine) pollInterrupt() error {
 func (e *Engine) postExec(nextPC int, halted bool) error {
 	tb := e.cur
 	e.stats.Instructions += uint64(len(tb.insts))
+	// Dispatch accounting mirrors the run loops' path choice. Followers
+	// never execute guest code themselves, but counting here — from the
+	// follower's own cache and config — keeps their statistics
+	// bit-identical to a serial run's.
+	if e.fastPath && tb.lowered {
+		e.stats.FastDispatches++
+	} else {
+		e.stats.GenericDispatches++
+	}
 
 	takenEdge := tb.hasBranch && nextPC == tb.takenTarget
 	if !tb.hasBranch {
@@ -803,7 +855,7 @@ func (e *Engine) Run() (*profile.Snapshot, *RunStats, error) {
 	if err := e.start(); err != nil {
 		return nil, nil, err
 	}
-	fast := !e.cfg.DisableFastPath
+	fast := e.fastPath
 	for {
 		tb := e.cur
 		if err := e.preExec(); err != nil {

@@ -53,7 +53,7 @@ func RunMulti(img *guest.Image, tape interp.Tape, cfgs []Config) ([]*profile.Sna
 		engines[i] = e
 	}
 	driver := engines[0]
-	fast := !driver.cfg.DisableFastPath
+	fast := driver.fastPath
 	for _, e := range engines {
 		if err := e.start(); err != nil {
 			return nil, nil, err

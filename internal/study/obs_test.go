@@ -1,0 +1,159 @@
+package study
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// TestWorkersDefaultIsGOMAXPROCS: with Parallelism unset, Perf must
+// report the scheduler's actual pool size — GOMAXPROCS, the same default
+// the scheduler itself resolves to (the study used to claim NumCPU while
+// the pool ran at GOMAXPROCS).
+func TestWorkersDefaultIsGOMAXPROCS(t *testing.T) {
+	res, err := Run(Config{
+		Scale:      0.001,
+		Thresholds: []float64{100},
+		Benchmarks: []*spec.Benchmark{spec.ByName("gzip")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); res.Perf.Workers != want {
+		t.Fatalf("Perf.Workers = %d, want GOMAXPROCS = %d", res.Perf.Workers, want)
+	}
+}
+
+// failWriter fails every write after the first n bytes-worth of calls.
+type failWriter struct{ fails int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.fails++
+	return 0, errors.New("sink closed")
+}
+
+// TestProgressWriteErrorsCounted: a broken progress sink must not abort
+// the study, and every dropped line must be counted in Perf.
+func TestProgressWriteErrorsCounted(t *testing.T) {
+	sink := &failWriter{}
+	res, err := Run(Config{
+		Scale:      0.001,
+		Thresholds: []float64{100},
+		Benchmarks: []*spec.Benchmark{spec.ByName("gzip"), spec.ByName("swim")},
+		Progress:   sink,
+	})
+	if err != nil {
+		t.Fatalf("broken progress sink aborted the study: %v", err)
+	}
+	if res.Perf.ProgressWriteErrors != 2 {
+		t.Fatalf("ProgressWriteErrors = %d, want 2", res.Perf.ProgressWriteErrors)
+	}
+	if sink.fails != 2 {
+		t.Fatalf("writer saw %d writes, want 2", sink.fails)
+	}
+	for _, s := range res.Series {
+		if s.Name == "" || len(s.PerT) == 0 {
+			t.Fatalf("series incomplete despite write errors: %+v", s)
+		}
+	}
+}
+
+// TestLadderCollapseAtSmallScale: at Scale 1e-4 the paper-unit rungs
+// 1, 100 and 1e3 all clamp to effective threshold 1. The study must run
+// one follower for the three of them (same block volume as the
+// two-rung ladder) while reporting each under its own paper label.
+func TestLadderCollapseAtSmallScale(t *testing.T) {
+	base := Config{
+		Scale:      1e-4,
+		Benchmarks: []*spec.Benchmark{spec.ByName("gzip")},
+	}
+	full := base
+	full.Thresholds = []float64{1, 100, 1e3, 1e5}
+	wide, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := base
+	two.Thresholds = []float64{1, 1e5}
+	narrow, err := Run(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := EffectiveThreshold(1e3, 1e-4); got != 1 {
+		t.Fatalf("EffectiveThreshold(1e3, 1e-4) = %d, want 1 (test premise)", got)
+	}
+	if !reflect.DeepEqual(wide.PaperT, []float64{1, 100, 1e3, 1e5}) {
+		t.Fatalf("paper labels lost: %v", wide.PaperT)
+	}
+	s := wide.Series[0]
+	for i := 1; i < 3; i++ {
+		if !reflect.DeepEqual(s.PerT[0], s.PerT[i]) {
+			t.Fatalf("collapsed rungs 0 and %d differ", i)
+		}
+	}
+	if !reflect.DeepEqual(s.PerT[0], narrow.Series[0].PerT[0]) ||
+		!reflect.DeepEqual(s.PerT[3], narrow.Series[0].PerT[1]) {
+		t.Fatal("collapsed ladder results differ from the two-rung ladder")
+	}
+	if wide.Perf.BlocksExecuted != narrow.Perf.BlocksExecuted {
+		t.Fatalf("collapsed ladder executed %d blocks, two-rung ladder %d — dedup not applied",
+			wide.Perf.BlocksExecuted, narrow.Perf.BlocksExecuted)
+	}
+}
+
+// TestTraceDoesNotPerturbResults: running with a flight recorder
+// attached must leave the series untouched and produce a parseable
+// event stream covering every pipeline phase.
+func TestTraceDoesNotPerturbResults(t *testing.T) {
+	cfg := Config{
+		Scale:      0.001,
+		Thresholds: []float64{1, 100, 1e3},
+		Benchmarks: []*spec.Benchmark{spec.ByName("gzip"), spec.ByName("swim")},
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	traced := cfg
+	traced.Trace = obs.NewRecorder(&buf)
+	res, err := Run(traced)
+	if dropped, cerr := traced.Trace.Close(); cerr != nil || dropped != 0 {
+		t.Fatalf("recorder close: dropped=%d err=%v", dropped, cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Series, plain.Series) {
+		t.Fatal("series differ with tracing enabled")
+	}
+	if res.Perf.TraceEventsDropped != 0 {
+		t.Fatalf("TraceEventsDropped = %d, want 0", res.Perf.TraceEventsDropped)
+	}
+
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("trace stream invalid: %v", err)
+	}
+	units := map[string]int{}
+	for _, ev := range events {
+		units[ev.Unit]++
+	}
+	for _, unit := range []string{obs.UnitBuild, obs.UnitRef, obs.UnitTrain, obs.UnitCompare, obs.UnitTrainCompare} {
+		if units[unit] == 0 {
+			t.Fatalf("no %s events in trace: %v", unit, units)
+		}
+	}
+	// One compare event per distinct effective threshold per benchmark,
+	// one train comparison per benchmark.
+	if units[obs.UnitTrainCompare] != len(cfg.Benchmarks) {
+		t.Fatalf("train_compare events = %d, want %d", units[obs.UnitTrainCompare], len(cfg.Benchmarks))
+	}
+}

@@ -16,10 +16,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -46,19 +48,26 @@ type Config struct {
 	// PoolTrigger passes through to the translator.
 	PoolTrigger int
 	// Parallelism bounds concurrently-running work units (default
-	// NumCPU). Units are finer than benchmarks: each benchmark's
-	// reference execution, training run and per-threshold comparisons
-	// schedule independently, so small Parallelism values still make
-	// progress on wide suites.
+	// GOMAXPROCS, matching the scheduler's own default — unlike NumCPU
+	// it respects cgroup quotas and GOMAXPROCS overrides). Units are
+	// finer than benchmarks: each benchmark's reference execution,
+	// training run and per-threshold comparisons schedule
+	// independently, so small Parallelism values still make progress on
+	// wide suites.
 	Parallelism int
 	// Progress, when non-nil, receives one line per completed
-	// benchmark.
+	// benchmark. Write failures do not stop the study; they are counted
+	// in Perf.ProgressWriteErrors.
 	Progress io.Writer
 	// IndependentRuns disables the shared-trace reference execution:
 	// every INIP(T) run executes the guest itself, as a cross-check
 	// (results are identical) and for machines with more cores than
 	// thresholds.
 	IndependentRuns bool
+	// Trace, when non-nil, receives one flight-recorder event per
+	// completed pipeline span (see internal/obs). Tracing never alters
+	// results: figure output is byte-identical with it on or off.
+	Trace *obs.Recorder
 }
 
 func (c *Config) defaults() {
@@ -72,7 +81,7 @@ func (c *Config) defaults() {
 		c.Benchmarks = spec.Suite()
 	}
 	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.NumCPU()
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -125,7 +134,27 @@ type Perf struct {
 	// unit (each profiling context counts its pass over the trace).
 	BlocksExecuted uint64  `json:"blocks_executed"`
 	BlocksPerSec   float64 `json:"blocks_per_sec"`
-	Workers        int     `json:"workers"`
+	// Workers is the scheduler's resolved pool size — what actually
+	// ran, not the requested Parallelism (which may be zero = default).
+	Workers int `json:"workers"`
+
+	// Engine-counter aggregates, summed over every profiling context of
+	// every run unit (see dbt.RunStats for per-counter semantics).
+	Translations      int64  `json:"blocks_translated"`
+	Retranslations    int64  `json:"retranslations"`
+	OptimizationWaves int64  `json:"optimization_waves"`
+	RegionsFormed     int64  `json:"regions_formed"`
+	RegionsDissolved  int64  `json:"regions_dissolved"`
+	FastDispatches    uint64 `json:"fast_dispatches"`
+	GenericDispatches uint64 `json:"generic_dispatches"`
+	CacheLookups      uint64 `json:"cache_lookups"`
+	InterruptPolls    uint64 `json:"interrupt_polls"`
+	FreezeEvents      uint64 `json:"freeze_events"`
+
+	// Observability-pipeline health: progress lines whose write failed
+	// and flight-recorder events dropped on queue overflow.
+	ProgressWriteErrors uint64 `json:"progress_write_errors,omitempty"`
+	TraceEventsDropped  uint64 `json:"trace_events_dropped,omitempty"`
 }
 
 // Run executes the study: every benchmark is decomposed into run units
@@ -142,6 +171,7 @@ func Run(cfg Config) (*Results, error) {
 
 	res := &Results{Scale: cfg.Scale, PaperT: paperT, Series: make([]BenchmarkSeries, len(cfg.Benchmarks))}
 	var timing core.Timing
+	var progressErrs atomic.Uint64
 	start := time.Now()
 	sched := core.NewScheduler(cfg.Parallelism)
 	// progressMu serializes Progress writes only; result recording is
@@ -156,6 +186,7 @@ func Run(cfg Config) (*Results, error) {
 			Perf:            true,
 			IndependentRuns: cfg.IndependentRuns,
 			Timing:          &timing,
+			Trace:           cfg.Trace,
 		}
 		core.ScheduleBenchmark(sched, b.Target(cfg.Scale), opts, func(out *core.BenchmarkResult) {
 			res.Series[i] = BenchmarkSeries{
@@ -171,8 +202,14 @@ func Run(cfg Config) (*Results, error) {
 				line := fmt.Sprintf("done %-8s (%s): train Sd.BP=%.3f mismatch=%.1f%%\n",
 					b.Name, b.Class, out.Train.SdBP, out.Train.BPMismatch*100)
 				progressMu.Lock()
-				io.WriteString(cfg.Progress, line)
+				_, werr := io.WriteString(cfg.Progress, line)
 				progressMu.Unlock()
+				if werr != nil {
+					// A broken progress sink must not abort (or skew) a
+					// multi-minute study, but it must not vanish either:
+					// count the dropped line and surface it in Perf.
+					progressErrs.Add(1)
+				}
 			}
 		})
 	}
@@ -187,7 +224,22 @@ func Run(cfg Config) (*Results, error) {
 		TrainSeconds:   time.Duration(timing.TrainRuns.Load()).Seconds(),
 		CompareSeconds: time.Duration(timing.Compare.Load()).Seconds(),
 		BlocksExecuted: timing.BlocksExecuted.Load(),
-		Workers:        cfg.Parallelism,
+		Workers:        sched.Workers(),
+
+		Translations:      timing.Translations.Load(),
+		Retranslations:    timing.Retranslations.Load(),
+		OptimizationWaves: timing.OptimizationWaves.Load(),
+		RegionsFormed:     timing.RegionsFormed.Load(),
+		RegionsDissolved:  timing.RegionsDissolved.Load(),
+		FastDispatches:    timing.FastDispatches.Load(),
+		GenericDispatches: timing.GenericDispatches.Load(),
+		CacheLookups:      timing.CacheLookups.Load(),
+		InterruptPolls:    timing.InterruptPolls.Load(),
+		FreezeEvents:      timing.FreezeEvents.Load(),
+
+		ProgressWriteErrors: progressErrs.Load(),
+		// Exact here: every emitter finished when Wait returned.
+		TraceEventsDropped: cfg.Trace.Dropped(),
 	}
 	if wall > 0 {
 		res.Perf.BlocksPerSec = float64(res.Perf.BlocksExecuted) / wall.Seconds()
