@@ -26,8 +26,54 @@ echo "== trace smoke (-race) =="
 # the trace it produced (the strict reader is the schema check).
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
-go run -race ./cmd/inipstudy -scale 0.001 -bench gzip,swim -fig fig8 \
+# Build the race-instrumented binary once and run it directly: `go run`
+# collapses every non-zero child exit to 1, which would hide the exit
+# codes the smokes below assert.
+go build -race -o "$tmpdir/inipstudy" ./cmd/inipstudy
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -fig fig8 \
     -trace "$tmpdir/trace.jsonl" -benchjson "$tmpdir/bench.json" > /dev/null
-go run ./cmd/inipstudy -tracesum "$tmpdir/trace.jsonl" > /dev/null
+"$tmpdir/inipstudy" -tracesum "$tmpdir/trace.jsonl" > /dev/null
+
+echo "== fault-injection smoke (-race) =="
+# One injected failure under each policy. Fail-fast must refuse to
+# produce figures; degrade must complete with the surviving benchmark's
+# figures byte-identical to a clean run over that subset (the gap
+# annotation names the drop, so strip it before comparing).
+"$tmpdir/inipstudy" -scale 0.001 -bench swim -fig fig8 \
+    > "$tmpdir/clean.txt"
+code=0
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -fig fig8 \
+    -inject trap:gzip/ref@500 > /dev/null 2> "$tmpdir/failfast.err" || code=$?
+if [ "$code" -ne 1 ]; then
+    echo "fail-fast run with an injected fault exited $code, want 1" >&2
+    exit 1
+fi
+grep -q "injected guest trap at block 500" "$tmpdir/failfast.err"
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -fig fig8 \
+    -failpolicy degrade -inject trap:gzip/ref@500 \
+    > "$tmpdir/degrade.txt" 2> "$tmpdir/degrade.err"
+grep -q "gzip" "$tmpdir/degrade.err"
+grep -v "^gap: " "$tmpdir/degrade.txt" > "$tmpdir/degrade-stripped.txt"
+cmp "$tmpdir/clean.txt" "$tmpdir/degrade-stripped.txt"
+
+echo "== kill-and-resume smoke (-race) =="
+# Stop the study after one benchmark, then resume from the checkpoint:
+# the resumed run restores the finished benchmark and its figure output
+# is byte-identical to an uninterrupted run.
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -fig fig8 \
+    > "$tmpdir/full.txt"
+code=0
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -fig fig8 \
+    -checkpoint "$tmpdir/state.jsonl" -stopafter 1 \
+    > /dev/null 2> "$tmpdir/stop.err" || code=$?
+if [ "$code" -ne 130 ]; then
+    echo "stopped run exited $code, want 130" >&2
+    cat "$tmpdir/stop.err" >&2
+    exit 1
+fi
+test -s "$tmpdir/state.jsonl"
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -fig fig8 \
+    -checkpoint "$tmpdir/state.jsonl" -resume > "$tmpdir/resumed.txt"
+cmp "$tmpdir/full.txt" "$tmpdir/resumed.txt"
 
 echo "CI OK"

@@ -7,22 +7,33 @@
 //	          [-chart] [-json] [-v]
 //	inipstudy -trace t.jsonl -benchjson b.json   # observability outputs
 //	inipstudy -tracesum t.jsonl                  # summarize a recorded trace
+//	inipstudy -checkpoint state.jsonl            # persist finished benchmarks
+//	inipstudy -checkpoint state.jsonl -resume    # continue an interrupted run
+//	inipstudy -failpolicy degrade -retry 3       # survive benchmark failures
 //
 // The default scale of 1.0 runs the paper's actual threshold ladder
 // 100..4M (a few minutes); -scale 0.1 gives a quick low-resolution pass.
+//
+// SIGINT drains in-flight work, flushes the checkpoint and trace, and
+// exits 130; a second SIGINT aborts immediately.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/atomicio"
+	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/study"
@@ -60,7 +71,7 @@ func writeBenchJSON(path string, res *study.Results, nbench int, base float64) e
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // summarizeTrace renders a recorded flight-recorder file (-tracesum).
@@ -108,6 +119,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceSum   = fs.String("tracesum", "", "summarize a recorded -trace file (phases, benchmarks, worker occupancy) and exit")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile taken after the study to this file")
+
+		failPolicy   = fs.String("failpolicy", "failfast", "on unit failure: 'failfast' cancels the study, 'degrade' drops the failing benchmark and completes the rest")
+		retry        = fs.Int("retry", 0, "max attempts per pipeline unit before its failure is permanent (0 or 1 = no retry)")
+		retryBackoff = fs.Duration("retrybackoff", 0, "wait before the second attempt of a failed unit, doubling each further attempt")
+		inject       = fs.String("inject", "", "deterministic fault-injection spec for robustness testing, e.g. 'build:gzip/ref' or 'trap:mcf/train@1000' (see internal/faultinject)")
+		checkpoint   = fs.String("checkpoint", "", "persist completed benchmarks to this JSONL file as they finish")
+		resume       = fs.Bool("resume", false, "restore completed benchmarks from -checkpoint and run only the remainder")
+		stopAfter    = fs.Int("stopafter", 0, "stop gracefully after this many benchmark completions (testing hook for resume)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -163,7 +182,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := study.Config{Scale: *scale, IndependentRuns: *indep, Parallelism: *par}
+	cfg := study.Config{
+		Scale:           *scale,
+		IndependentRuns: *indep,
+		Parallelism:     *par,
+		MaxAttempts:     *retry,
+		RetryBackoff:    *retryBackoff,
+		Checkpoint:      *checkpoint,
+		Resume:          *resume,
+		StopAfter:       *stopAfter,
+	}
+	pol, perr := core.ParseFailurePolicy(*failPolicy)
+	if perr != nil {
+		fmt.Fprintf(stderr, "inipstudy: %v\n", perr)
+		return 2
+	}
+	cfg.Policy = pol
+	if *inject != "" {
+		plan, ferr := faultinject.Parse(*inject)
+		if ferr != nil {
+			fmt.Fprintf(stderr, "inipstudy: %v\n", ferr)
+			return 2
+		}
+		cfg.Faults = plan
+	}
 	if *verbose {
 		cfg.Progress = stderr
 	}
@@ -178,9 +220,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var traceOut *os.File
+	// SIGINT requests a graceful drain: in-flight units finish, the
+	// checkpoint and trace are flushed, and the run reports ErrStopped.
+	// A second SIGINT aborts on the spot.
+	stop := make(chan struct{})
+	cfg.Stop = stop
+	finished := make(chan struct{})
+	defer close(finished)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			fmt.Fprintln(stderr, "inipstudy: interrupt — draining in-flight work (^C again to abort)")
+			close(stop)
+		case <-finished:
+			return
+		}
+		select {
+		case <-sig:
+			os.Exit(130)
+		case <-finished:
+		}
+	}()
+
+	var traceOut *atomicio.File
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+		f, err := atomicio.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
 			return 1
@@ -190,24 +257,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res, err := study.Run(cfg)
+	stopped := errors.Is(err, study.ErrStopped)
 	if cfg.Trace != nil {
+		// The trace is published even when the study stopped or failed:
+		// the recorder closed cleanly, so the file is complete JSONL and
+		// exactly what a post-mortem wants. Only a write error discards.
 		dropped, cerr := cfg.Trace.Close()
-		if err == nil && cerr != nil {
-			fmt.Fprintf(stderr, "inipstudy: trace: %v\n", cerr)
+		if cerr == nil {
+			cerr = traceOut.Commit()
+		} else {
 			traceOut.Close()
-			return 1
 		}
-		if ferr := traceOut.Close(); err == nil && ferr != nil {
-			fmt.Fprintf(stderr, "inipstudy: trace: %v\n", ferr)
-			return 1
-		}
-		if err == nil {
+		if cerr != nil {
+			fmt.Fprintf(stderr, "inipstudy: trace: %v\n", cerr)
+			if err == nil {
+				return 1
+			}
+		} else {
 			fmt.Fprintf(stderr, "wrote %s (%d events dropped)\n", *traceFile, dropped)
 		}
 	}
-	if err != nil {
+	if err != nil && !stopped {
 		fmt.Fprintf(stderr, "inipstudy: %v\n", err)
 		return 1
+	}
+
+	if len(res.Failures) > 0 {
+		fmt.Fprintf(stderr, "inipstudy: %d unit failure(s); the affected benchmarks are excluded from every figure:\n", len(res.Failures))
+		for _, f := range res.Failures {
+			site := f.Unit
+			if f.T > 0 {
+				site = fmt.Sprintf("%s@T=%d", f.Unit, f.T)
+			}
+			fmt.Fprintf(stderr, "  %s: %s failed after %d attempt(s): %s\n", f.Bench, site, f.Attempts, f.Err)
+		}
+	}
+
+	if stopped {
+		done := 0
+		for _, s := range res.Series {
+			if s.Name != "" && len(s.Failures) == 0 {
+				done++
+			}
+		}
+		fmt.Fprintf(stderr, "inipstudy: stopped with %d of %d benchmarks finished\n", done, len(res.Series))
+		if *checkpoint != "" {
+			fmt.Fprintf(stderr, "inipstudy: resume with: -checkpoint %s -resume\n", *checkpoint)
+		}
+		return 130
 	}
 
 	if *memProfile != "" {
@@ -239,7 +336,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *asMD != "" {
-		if err := os.WriteFile(*asMD, []byte(res.MarkdownReport()), 0o644); err != nil {
+		if err := atomicio.WriteFile(*asMD, []byte(res.MarkdownReport()), 0o644); err != nil {
 			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
 			return 1
 		}
@@ -287,6 +384,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for _, n := range f.Notes {
 			fmt.Fprintf(stdout, "note: %s\n", n)
+		}
+		for _, g := range f.Gaps {
+			fmt.Fprintf(stdout, "%s\n", g)
 		}
 		fmt.Fprintln(stdout)
 	}

@@ -149,7 +149,8 @@ func TestSmokeProfiles(t *testing.T) {
 	}
 }
 
-// TestBadFlags: unknown benchmarks and figures are usage errors.
+// TestBadFlags: unknown benchmarks, figures, policies and fault specs
+// are usage errors.
 func TestBadFlags(t *testing.T) {
 	if code := run([]string{"-bench", "nosuch"}, new(bytes.Buffer), new(bytes.Buffer)); code != 2 {
 		t.Fatalf("unknown benchmark exited %d, want 2", code)
@@ -157,5 +158,97 @@ func TestBadFlags(t *testing.T) {
 	if code := run([]string{"-scale", "0.001", "-bench", "gzip", "-fig", "fig99"},
 		new(bytes.Buffer), new(bytes.Buffer)); code != 2 {
 		t.Fatalf("unknown figure exited %d, want 2", code)
+	}
+	var errBuf bytes.Buffer
+	if code := run([]string{"-failpolicy", "nosuch"}, new(bytes.Buffer), &errBuf); code != 2 {
+		t.Fatalf("unknown policy exited %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "nosuch") {
+		t.Fatalf("policy error does not name the value:\n%s", errBuf.String())
+	}
+	errBuf.Reset()
+	if code := run([]string{"-inject", "meteor:gzip/ref"}, new(bytes.Buffer), &errBuf); code != 2 {
+		t.Fatalf("bad fault spec exited %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "faultinject") {
+		t.Fatalf("fault-spec error lost its diagnostic:\n%s", errBuf.String())
+	}
+	errBuf.Reset()
+	if code := run([]string{"-scale", "-1", "-bench", "gzip"}, new(bytes.Buffer), &errBuf); code != 1 {
+		t.Fatalf("negative scale exited %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "-1") {
+		t.Fatalf("scale error does not name the value:\n%s", errBuf.String())
+	}
+}
+
+// TestDegradeCLI: with -failpolicy degrade and one injected failure the
+// command succeeds, prints the failure on stderr, annotates the gap in
+// the figure output, and the surviving rows match a fault-free run.
+func TestDegradeCLI(t *testing.T) {
+	var clean bytes.Buffer
+	args := []string{"-scale", "0.001", "-bench", "swim", "-fig", "fig8"}
+	if code := run(args, &clean, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("clean run exited %d", code)
+	}
+
+	var out, errBuf bytes.Buffer
+	args = []string{"-scale", "0.001", "-bench", "gzip,swim", "-fig", "fig8",
+		"-failpolicy", "degrade", "-inject", "build:gzip/ref"}
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("degraded run exited %d:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "1 unit failure") ||
+		!strings.Contains(errBuf.String(), "gzip") {
+		t.Fatalf("stderr does not summarize the failure:\n%s", errBuf.String())
+	}
+	if !strings.Contains(out.String(), "gzip excluded") {
+		t.Fatalf("figure output does not annotate the gap:\n%s", out.String())
+	}
+
+	// The surviving benchmark's table must be present verbatim.
+	table := strings.TrimRight(strings.SplitN(clean.String(), "\n", 2)[1], "\n")
+	if !strings.Contains(out.String(), table) {
+		t.Fatalf("survivor rows differ from the fault-free run:\nclean:\n%s\ndegraded:\n%s",
+			clean.String(), out.String())
+	}
+
+	// The same failure under the default fail-fast policy kills the run.
+	args = []string{"-scale", "0.001", "-bench", "gzip,swim", "-fig", "fig8",
+		"-inject", "build:gzip/ref"}
+	if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 1 {
+		t.Fatalf("fail-fast run exited %d, want 1", code)
+	}
+}
+
+// TestCheckpointResumeCLI: -stopafter ends the run with exit 130 and a
+// resume hint; a -resume rerun restores the finished benchmark and its
+// output is byte-identical to an uninterrupted run.
+func TestCheckpointResumeCLI(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.jsonl")
+	base := []string{"-scale", "0.001", "-bench", "gzip,swim", "-fig", "fig8"}
+
+	var full bytes.Buffer
+	if code := run(base, &full, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("uninterrupted run exited %d", code)
+	}
+
+	var errBuf bytes.Buffer
+	args := append([]string{"-checkpoint", ckpt, "-stopafter", "1"}, base...)
+	if code := run(args, new(bytes.Buffer), &errBuf); code != 130 {
+		t.Fatalf("stopped run exited %d, want 130:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "-resume") {
+		t.Fatalf("stop message has no resume hint:\n%s", errBuf.String())
+	}
+
+	var resumed bytes.Buffer
+	args = append([]string{"-checkpoint", ckpt, "-resume"}, base...)
+	if code := run(args, &resumed, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("resumed run exited %d", code)
+	}
+	if !bytes.Equal(full.Bytes(), resumed.Bytes()) {
+		t.Fatalf("resumed output differs from the uninterrupted run:\nfull:\n%s\nresumed:\n%s",
+			full.String(), resumed.String())
 	}
 }

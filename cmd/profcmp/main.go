@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -27,47 +28,68 @@ import (
 )
 
 func main() {
-	detail := flag.Bool("detail", false, "print per-block and per-region items")
-	classic := flag.Bool("classic", false, "also report classical profile comparators")
-	characterize := flag.Bool("characterize", false, "classify mispredicted branches as systematic (phase-like) vs sampling noise")
-	topN := flag.Int("topn", 10, "top-N for the classical key/weight match")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: profcmp [-detail] [-classic] <inip.json> <avep.json>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can drive
+// the tool in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("profcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		detail       = fs.Bool("detail", false, "print per-block and per-region items")
+		classic      = fs.Bool("classic", false, "also report classical profile comparators")
+		characterize = fs.Bool("characterize", false, "classify mispredicted branches as systematic (phase-like) vs sampling noise")
+		topN         = fs.Int("topn", 10, "top-N for the classical key/weight match")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	inip, err := loadSnapshot(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "profcmp: %v\n", err)
-		os.Exit(1)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: profcmp [-detail] [-classic] <inip.json> <avep.json>")
+		return 2
 	}
-	avep, err := loadSnapshot(flag.Arg(1))
+	inip, err := loadSnapshot(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "profcmp: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "profcmp: %v\n", err)
+		return 1
+	}
+	avep, err := loadSnapshot(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "profcmp: %v\n", err)
+		return 1
+	}
+	if inip.Program != avep.Program {
+		fmt.Fprintf(stderr, "profcmp: snapshots disagree: initial profile is for %q, average profile is for %q\n",
+			inip.Program, avep.Program)
+		return 1
+	}
+	if avep.Optimized {
+		fmt.Fprintf(stderr, "profcmp: %s is an optimized run; the average profile must come from an unoptimized run\n", fs.Arg(1))
+		return 1
 	}
 
 	summary, norm, err := core.Compare(inip, avep)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "profcmp: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "profcmp: %v\n", err)
+		return 1
 	}
-	fmt.Printf("initial: %s/%s T=%d (%d regions)\n", inip.Program, inip.Input, inip.Threshold, len(inip.Regions))
-	fmt.Printf("average: %s/%s (%d blocks)\n", avep.Program, avep.Input, len(avep.Blocks))
-	fmt.Printf("Sd.BP       = %.4f\n", summary.SdBP)
-	fmt.Printf("BP mismatch = %.2f%%\n", summary.BPMismatch*100)
+	fmt.Fprintf(stdout, "initial: %s/%s T=%d (%d regions)\n", inip.Program, inip.Input, inip.Threshold, len(inip.Regions))
+	fmt.Fprintf(stdout, "average: %s/%s (%d blocks)\n", avep.Program, avep.Input, len(avep.Blocks))
+	fmt.Fprintf(stdout, "Sd.BP       = %.4f\n", summary.SdBP)
+	fmt.Fprintf(stdout, "BP mismatch = %.2f%%\n", summary.BPMismatch*100)
 	if summary.HasRegions {
-		fmt.Printf("Sd.CP       = %.4f  (%d non-loop regions)\n", summary.SdCP, summary.Traces)
-		fmt.Printf("Sd.LP       = %.4f  (%d loop regions)\n", summary.SdLP, summary.Loops)
-		fmt.Printf("LP mismatch = %.2f%%\n", summary.LPMismatch*100)
+		fmt.Fprintf(stdout, "Sd.CP       = %.4f  (%d non-loop regions)\n", summary.SdCP, summary.Traces)
+		fmt.Fprintf(stdout, "Sd.LP       = %.4f  (%d loop regions)\n", summary.SdLP, summary.Loops)
+		fmt.Fprintf(stdout, "LP mismatch = %.2f%%\n", summary.LPMismatch*100)
 	} else {
-		fmt.Println("no regions: Sd.CP / Sd.LP not applicable (unoptimized initial profile)")
+		fmt.Fprintln(stdout, "no regions: Sd.CP / Sd.LP not applicable (unoptimized initial profile)")
 	}
-	fmt.Printf("normalization: %d duplicated blocks, %d solved frequencies, %d missing in AVEP\n",
+	fmt.Fprintf(stdout, "normalization: %d duplicated blocks, %d solved frequencies, %d missing in AVEP\n",
 		norm.DuplicatedAddrs, norm.Unknowns, norm.MissingInAVEP)
 
 	if *detail {
-		fmt.Println("\nper-block items (addr/copy: predicted vs average, weight):")
+		fmt.Fprintln(stdout, "\nper-block items (addr/copy: predicted vs average, weight):")
 		blocks := norm.Blocks
 		sort.Slice(blocks, func(i, j int) bool { return blocks[i].W > blocks[j].W })
 		for _, b := range blocks {
@@ -75,17 +97,17 @@ func main() {
 			if metrics.BPBucket(b.BT) != metrics.BPBucket(b.BM) {
 				marker = "  MISMATCH"
 			}
-			fmt.Printf("  block %6d copy %4d  BT=%.3f BM=%.3f W=%.0f%s\n", b.Addr, b.CopyID, b.BT, b.BM, b.W, marker)
+			fmt.Fprintf(stdout, "  block %6d copy %4d  BT=%.3f BM=%.3f W=%.0f%s\n", b.Addr, b.CopyID, b.BT, b.BM, b.W, marker)
 		}
 		for _, r := range norm.Traces {
-			fmt.Printf("  trace region %d: CT=%.3f CM=%.3f W=%.0f\n", r.Region.ID, r.CT, r.CM, r.W)
+			fmt.Fprintf(stdout, "  trace region %d: CT=%.3f CM=%.3f W=%.0f\n", r.Region.ID, r.CT, r.CM, r.W)
 		}
 		for _, r := range norm.Loops {
 			marker := ""
 			if metrics.LPBucket(r.LT) != metrics.LPBucket(r.LM) {
 				marker = "  CLASS MISMATCH"
 			}
-			fmt.Printf("  loop region %d: LT=%.3f LM=%.3f (trips %.1f vs %.1f) W=%.0f%s\n",
+			fmt.Fprintf(stdout, "  loop region %d: LT=%.3f LM=%.3f (trips %.1f vs %.1f) W=%.0f%s\n",
 				r.Region.ID, r.LT, r.LM, metrics.TripCount(r.LT), metrics.TripCount(r.LM), r.W, marker)
 		}
 	}
@@ -95,8 +117,8 @@ func main() {
 		if t == 0 {
 			t = 1
 		}
-		fmt.Println()
-		fmt.Print(core.Characterize(norm, t).Render(20))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, core.Characterize(norm, t).Render(20))
 	}
 
 	if *classic {
@@ -113,11 +135,12 @@ func main() {
 		for addr, b := range avep.Blocks {
 			act[addr] = float64(b.Use)
 		}
-		fmt.Println("\nclassical comparators (unreliable for INIP: all frozen counts sit in [T,2T]):")
-		fmt.Printf("  key match (top %d)    = %.3f\n", *topN, metrics.KeyMatch(pred, act, *topN))
-		fmt.Printf("  weight match (top %d) = %.3f\n", *topN, metrics.WeightMatch(pred, act, *topN))
-		fmt.Printf("  overlap percentage     = %.3f\n", metrics.OverlapPercentage(pred, act))
+		fmt.Fprintln(stdout, "\nclassical comparators (unreliable for INIP: all frozen counts sit in [T,2T]):")
+		fmt.Fprintf(stdout, "  key match (top %d)    = %.3f\n", *topN, metrics.KeyMatch(pred, act, *topN))
+		fmt.Fprintf(stdout, "  weight match (top %d) = %.3f\n", *topN, metrics.WeightMatch(pred, act, *topN))
+		fmt.Fprintf(stdout, "  overlap percentage     = %.3f\n", metrics.OverlapPercentage(pred, act))
 	}
+	return 0
 }
 
 func loadSnapshot(path string) (*profile.Snapshot, error) {

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/profile"
+	"repro/internal/spec"
+)
+
+// buildSnapshots produces a real INIP(100)/AVEP snapshot pair for gzip
+// at tiny scale, the fixture every comparison test loads. Tapes are
+// single-use, so each run rebuilds the benchmark.
+func buildSnapshots(t *testing.T, dir string) (inipPath, avepPath string) {
+	t.Helper()
+	b := spec.ByName("gzip")
+	runOnce := func(cfg dbt.Config, name string) string {
+		img, tape, err := b.Build("ref", 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, _, err := dbt.Run(img, tape, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	inipPath = runOnce(dbt.Config{Input: "ref", Optimize: true, Threshold: 100}, "inip.json")
+	avepPath = runOnce(dbt.Config{Input: "ref"}, "avep.json")
+	return inipPath, avepPath
+}
+
+// TestCompareSmoke drives the full comparison pipeline on a real
+// snapshot pair and checks the report's structure: the run identities,
+// every accuracy measure, and the normalization tallies.
+func TestCompareSmoke(t *testing.T) {
+	inip, avep := buildSnapshots(t, t.TempDir())
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{inip, avep}, &out, &errBuf); code != 0 {
+		t.Fatalf("profcmp exited %d:\n%s", code, errBuf.String())
+	}
+	for _, want := range []string{
+		"initial: gzip/ref T=100",
+		"average: gzip/ref",
+		"Sd.BP",
+		"BP mismatch",
+		"normalization:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The tool is deterministic: the same snapshots must compare to the
+	// same report, byte for byte.
+	var again bytes.Buffer
+	if code := run([]string{inip, avep}, &again, new(bytes.Buffer)); code != 0 {
+		t.Fatal("second run failed")
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("report is not deterministic")
+	}
+
+	// -detail, -characterize and -classic extend the report.
+	var full bytes.Buffer
+	if code := run([]string{"-detail", "-classic", "-characterize", inip, avep}, &full, new(bytes.Buffer)); code != 0 {
+		t.Fatal("flagged run failed")
+	}
+	for _, want := range []string{"per-block items", "classical comparators", "key match"} {
+		if !strings.Contains(full.String(), want) {
+			t.Fatalf("flagged report missing %q:\n%s", want, full.String())
+		}
+	}
+}
+
+// TestMalformedInputs: unreadable and syntactically broken snapshots
+// exit non-zero with a diagnostic naming the problem, never a panic or
+// a silent zero report.
+func TestMalformedInputs(t *testing.T) {
+	dir := t.TempDir()
+	inip, avep := buildSnapshots(t, dir)
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"no args", nil, 2, "usage"},
+		{"one arg", []string{inip}, 2, "usage"},
+		{"missing file", []string{filepath.Join(dir, "nope.json"), avep}, 1, "no such file"},
+		{"garbage inip", []string{garbage, avep}, 1, "decode snapshot"},
+		{"garbage avep", []string{inip, garbage}, 1, "decode snapshot"},
+		{"bad flag", []string{"-nosuch", inip, avep}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(tc.args, &out, &errBuf); code != tc.code {
+			t.Fatalf("%s: exited %d, want %d (stderr: %s)", tc.name, code, tc.code, errBuf.String())
+		}
+		if !strings.Contains(errBuf.String(), tc.want) {
+			t.Fatalf("%s: diagnostic %q does not mention %q", tc.name, errBuf.String(), tc.want)
+		}
+	}
+}
+
+// TestMismatchedPrograms: comparing snapshots of different programs is
+// an input error, not a bogus report.
+func TestMismatchedPrograms(t *testing.T) {
+	dir := t.TempDir()
+	inip, _ := buildSnapshots(t, dir)
+
+	other := profile.NewSnapshot("mcf", "ref", 0, false)
+	otherPath := filepath.Join(dir, "other.json")
+	f, err := os.Create(otherPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var errBuf bytes.Buffer
+	if code := run([]string{inip, otherPath}, new(bytes.Buffer), &errBuf); code != 1 {
+		t.Fatalf("mismatched programs exited %d, want 1:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "gzip") || !strings.Contains(errBuf.String(), "mcf") {
+		t.Fatalf("diagnostic does not name both programs: %s", errBuf.String())
+	}
+}

@@ -11,96 +11,131 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
+	"repro/internal/atomicio"
 	"repro/internal/cfg"
 	"repro/internal/guest"
 	"repro/internal/spec"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can drive
+// the tool in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgasm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out      = flag.String("o", "", "output file for assembled/generated images")
-		disasm   = flag.Bool("d", false, "disassemble an SG32 image")
-		showCFG  = flag.Bool("cfg", false, "print the static CFG of an SG32 image")
-		genBench = flag.String("gen", "", "generate a synthetic benchmark image")
-		genInput = flag.String("input", "ref", "input for -gen: ref or train")
-		genScale = flag.Float64("scale", 1.0, "scale for -gen")
+		out      = fs.String("o", "", "output file for assembled/generated images")
+		disasm   = fs.Bool("d", false, "disassemble an SG32 image")
+		showCFG  = fs.Bool("cfg", false, "print the static CFG of an SG32 image")
+		genBench = fs.String("gen", "", "generate a synthetic benchmark image")
+		genInput = fs.String("input", "ref", "input for -gen: ref or train")
+		genScale = fs.Float64("scale", 1.0, "scale for -gen")
 	)
-	flag.Parse()
+	// The stdlib flag package stops at the first positional argument,
+	// which would reject the documented `sgasm prog.s -o prog.sg32`
+	// form; collect positionals and re-parse the rest so flags may
+	// appear on either side of the file.
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		pos = append(pos, fs.Arg(0))
+		args = fs.Args()[1:]
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "sgasm: %v\n", err)
+		return 1
+	}
 
 	if *genBench != "" {
 		b := spec.ByName(*genBench)
 		if b == nil {
-			fatal(fmt.Errorf("unknown benchmark %q", *genBench))
+			return fail(fmt.Errorf("unknown benchmark %q", *genBench))
 		}
 		img, _, err := b.Build(*genInput, *genScale)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *out == "" {
-			fatal(fmt.Errorf("-gen requires -o"))
+			return fail(fmt.Errorf("-gen requires -o"))
 		}
-		writeImage(img, *out)
-		fmt.Printf("wrote %s: %d instructions, %d data words\n", *out, len(img.Code), img.DataWords)
-		return
+		if err := writeImage(img, *out); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d instructions, %d data words\n", *out, len(img.Code), img.DataWords)
+		return 0
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sgasm [-d|-cfg] <file> | sgasm <src.s> -o <img> | sgasm -gen <bench> -o <img>")
-		os.Exit(2)
+	if len(pos) != 1 {
+		fmt.Fprintln(stderr, "usage: sgasm [-d|-cfg] <file> | sgasm <src.s> -o <img> | sgasm -gen <bench> -o <img>")
+		return 2
 	}
-	path := flag.Arg(0)
+	path := pos[0]
 
 	switch {
 	case *disasm || *showCFG:
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		img, err := guest.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *disasm {
-			fmt.Printf("; %s: entry %d, %d instructions, %d data words\n", img.Name, img.Entry, len(img.Code), img.DataWords)
-			fmt.Print(img.Disassemble())
+			fmt.Fprintf(stdout, "; %s: entry %d, %d instructions, %d data words\n", img.Name, img.Entry, len(img.Code), img.DataWords)
+			fmt.Fprint(stdout, img.Disassemble())
 		}
 		if *showCFG {
-			printCFG(img)
+			if err := printCFG(img, stdout); err != nil {
+				return fail(err)
+			}
 		}
 	default:
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		img, err := guest.Assemble(string(src))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *out == "" {
-			fatal(fmt.Errorf("assembling requires -o"))
+			return fail(fmt.Errorf("assembling requires -o"))
 		}
-		writeImage(img, *out)
-		fmt.Printf("wrote %s: %d instructions\n", *out, len(img.Code))
+		if err := writeImage(img, *out); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "wrote %s: %d instructions\n", *out, len(img.Code))
 	}
+	return 0
 }
 
-func printCFG(img *guest.Image) {
+func printCFG(img *guest.Image, stdout io.Writer) error {
 	g, err := cfg.Build(img)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("entry: %d\n", g.Entry)
+	fmt.Fprintf(stdout, "entry: %d\n", g.Entry)
 	for _, s := range g.Starts() {
 		b := g.Blocks[s]
 		name := ""
 		if sym, ok := img.SymbolAt(s); ok {
 			name = " <" + sym + ">"
 		}
-		fmt.Printf("block %4d..%-4d%s -> %v\n", b.Start, b.End, name, b.Succs)
+		fmt.Fprintf(stdout, "block %4d..%-4d%s -> %v\n", b.Start, b.End, name, b.Succs)
 	}
 	loops := g.NaturalLoops()
 	for _, l := range loops {
@@ -109,27 +144,24 @@ func printCFG(img *guest.Image) {
 			body = append(body, s)
 		}
 		sort.Ints(body)
-		fmt.Printf("loop head %d body %v\n", l.Head, body)
+		fmt.Fprintf(stdout, "loop head %d body %v\n", l.Head, body)
 	}
 	if len(loops) == 0 {
-		fmt.Println("no natural loops")
+		fmt.Fprintln(stdout, "no natural loops")
 	}
+	return nil
 }
 
-func writeImage(img *guest.Image, path string) {
-	f, err := os.Create(path)
+// writeImage publishes the image atomically: a crash mid-write must not
+// leave a truncated .sg32 a later run would try to load.
+func writeImage(img *guest.Image, path string) error {
+	f, err := atomicio.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := img.Save(f); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "sgasm: %v\n", err)
-	os.Exit(1)
+	return f.Commit()
 }

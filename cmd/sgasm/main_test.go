@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loopSrc is a tiny program with one natural loop, enough to exercise
+// the assembler, disassembler and CFG printer.
+const loopSrc = `
+.entry main
+main:
+	loadi r2, 0
+loop:
+	in r1
+	addi r3, r3, 1
+	bne r1, r2, loop
+	halt
+`
+
+func assemble(t *testing.T, dir string) string {
+	t.Helper()
+	src := filepath.Join(dir, "loop.s")
+	img := filepath.Join(dir, "loop.sg32")
+	if err := os.WriteFile(src, []byte(loopSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{src, "-o", img}, &out, &errBuf); code != 0 {
+		t.Fatalf("assemble exited %d:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+img) {
+		t.Fatalf("assemble did not report the output:\n%s", out.String())
+	}
+	return img
+}
+
+// TestAssembleDisassembleCFG round-trips a source file through the
+// assembler and checks the inspection outputs.
+func TestAssembleDisassembleCFG(t *testing.T) {
+	img := assemble(t, t.TempDir())
+
+	var dis bytes.Buffer
+	if code := run([]string{"-d", img}, &dis, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("-d exited %d", code)
+	}
+	for _, want := range []string{"entry 0", "loadi", "bne", "halt"} {
+		if !strings.Contains(dis.String(), want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis.String())
+		}
+	}
+
+	var cfgOut bytes.Buffer
+	if code := run([]string{"-cfg", img}, &cfgOut, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("-cfg exited %d", code)
+	}
+	for _, want := range []string{"entry: 0", "block", "<main>", "loop head 1"} {
+		if !strings.Contains(cfgOut.String(), want) {
+			t.Fatalf("CFG output missing %q:\n%s", want, cfgOut.String())
+		}
+	}
+
+	// Inspection is deterministic: a second pass is byte-identical.
+	var again bytes.Buffer
+	run([]string{"-cfg", img}, &again, new(bytes.Buffer))
+	if !bytes.Equal(cfgOut.Bytes(), again.Bytes()) {
+		t.Fatal("-cfg output is not deterministic")
+	}
+}
+
+// TestGenerateBenchmark: -gen emits a loadable synthetic benchmark
+// image.
+func TestGenerateBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "gzip.sg32")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-gen", "gzip", "-scale", "0.001", "-o", img}, &out, &errBuf); code != 0 {
+		t.Fatalf("-gen exited %d:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+img) {
+		t.Fatalf("-gen did not report the output:\n%s", out.String())
+	}
+	var cfgOut bytes.Buffer
+	if code := run([]string{"-cfg", img}, &cfgOut, new(bytes.Buffer)); code != 0 {
+		t.Fatal("generated image does not load")
+	}
+	if !strings.Contains(cfgOut.String(), "loop head") {
+		t.Fatal("generated benchmark has no loops")
+	}
+}
+
+// TestMalformedInputs: every bad invocation exits non-zero with a
+// diagnostic on stderr and publishes no output file.
+func TestMalformedInputs(t *testing.T) {
+	dir := t.TempDir()
+	badSrc := filepath.Join(dir, "bad.s")
+	if err := os.WriteFile(badSrc, []byte(".entry main\nmain:\n\tfrobnicate r1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goodSrc := filepath.Join(dir, "good.s")
+	if err := os.WriteFile(goodSrc, []byte(loopSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	notImage := filepath.Join(dir, "not-an-image")
+	if err := os.WriteFile(notImage, []byte("plain text"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.sg32")
+
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"no args", nil, 2, "usage"},
+		{"bad source", []string{badSrc, "-o", out}, 1, "frobnicate"},
+		{"missing -o", []string{goodSrc}, 1, "requires -o"},
+		{"not an image", []string{"-d", notImage}, 1, "sgasm:"},
+		{"missing file", []string{"-d", filepath.Join(dir, "nope.sg32")}, 1, "no such file"},
+		{"unknown bench", []string{"-gen", "nosuch", "-o", out}, 1, "nosuch"},
+		{"gen missing -o", []string{"-gen", "gzip", "-scale", "0.001"}, 1, "requires -o"},
+		{"bad flag", []string{"-nosuch", notImage}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != tc.code {
+			t.Fatalf("%s: exited %d, want %d (stderr: %s)", tc.name, code, tc.code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Fatalf("%s: diagnostic %q does not mention %q", tc.name, stderr.String(), tc.want)
+		}
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatal("a failed invocation published an output file")
+	}
+}

@@ -1,0 +1,107 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("content = %q", got)
+	}
+	leftovers(t, filepath.Dir(path), "out.json")
+}
+
+func TestAbortedWriteLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // no Commit: simulated crash/abort
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Fatalf("aborted write replaced content: %q", got)
+	}
+	leftovers(t, dir, "out.json")
+}
+
+func TestCommitThenCloseIsSafe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("done")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "done" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := f.Commit(); err == nil {
+		t.Fatal("double Commit accepted")
+	}
+	leftovers(t, dir, "out.txt")
+}
+
+func TestCreateInMissingDirFails(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "nodir", "x")); err == nil {
+		t.Fatal("Create in a missing directory succeeded")
+	}
+}
+
+// leftovers fails the test if the directory holds anything besides the
+// published artifacts.
+func leftovers(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := map[string]bool{}
+	for _, w := range want {
+		ok[w] = true
+	}
+	for _, e := range ents {
+		if !ok[e.Name()] {
+			if strings.Contains(e.Name(), ".tmp") {
+				t.Fatalf("temp file leaked: %s", e.Name())
+			}
+			t.Fatalf("unexpected file: %s", e.Name())
+		}
+	}
+}

@@ -8,12 +8,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dbt"
+	"repro/internal/faultinject"
 	"repro/internal/guest"
 	"repro/internal/interp"
 	"repro/internal/metrics"
@@ -116,6 +118,20 @@ type Options struct {
 	// intervals the Timing phase buckets accumulate, so per-phase trace
 	// sums reconcile with the study's Perf totals.
 	Trace *obs.Recorder
+	// Faults, when non-nil, is the armed fault-injection plan the
+	// pipeline consults at its injection points: the build cache, the
+	// translator config (guest traps) and the unit wrapper (delays,
+	// panics). A nil plan injects nothing.
+	Faults *faultinject.Plan
+	// MaxAttempts bounds how many times a failing unit body is run
+	// before the failure is permanent (0 or 1 = no retry). Attempts
+	// re-enter the unit from the top — the build cache does not memoize
+	// errors, so a transient build failure is retried for real.
+	MaxAttempts int
+	// RetryBackoff is the wait before the second attempt, doubling on
+	// each further attempt. Zero retries immediately. The wait aborts
+	// early when the scheduler cancels.
+	RetryBackoff time.Duration
 }
 
 // Timing aggregates where a study's wall-clock went. Durations are
@@ -129,6 +145,8 @@ type Timing struct {
 	// BlocksExecuted totals dynamic block executions over all run units
 	// (each profiling context counts its own pass over the trace).
 	BlocksExecuted atomic.Uint64
+	// Retries counts failed unit attempts that were run again.
+	Retries atomic.Int64
 
 	// Engine-counter aggregates (see dbt.RunStats), summed over every
 	// profiling context of every run unit.
@@ -170,6 +188,22 @@ type ThresholdResult struct {
 	Snapshot     *profile.Snapshot // nil unless Options.KeepSnapshots
 }
 
+// UnitFailure records one unit whose failure was absorbed under the
+// Degrade policy: which unit of which benchmark failed, after how many
+// attempts, and with what error. A benchmark with failures has
+// incomplete measurement data and is excluded from figure aggregation.
+type UnitFailure struct {
+	Bench string `json:"bench"`
+	// Unit is the failing span kind (obs.Unit* constants).
+	Unit string `json:"unit"`
+	// T is the effective threshold for per-threshold units, 0 otherwise.
+	T uint64 `json:"t,omitempty"`
+	// Attempts is how many times the unit body ran before giving up.
+	Attempts int `json:"attempts"`
+	// Err is the final attempt's error, verbatim.
+	Err string `json:"err"`
+}
+
 // BenchmarkResult is the complete study output for one benchmark.
 type BenchmarkResult struct {
 	Name string
@@ -190,6 +224,11 @@ type BenchmarkResult struct {
 	TrainOps uint64
 	// Results holds one entry per threshold, in ladder order.
 	Results []ThresholdResult
+	// Failures lists the units that failed permanently under the Degrade
+	// policy, in completion order (callers that need a stable order sort
+	// by unit and threshold). Empty on a clean run; under FailFast the
+	// study errors out instead of recording failures.
+	Failures []UnitFailure
 }
 
 func (o *Options) dbtConfig(input string, threshold uint64, optimize bool) dbt.Config {
@@ -215,46 +254,56 @@ func (o *Options) dbtConfig(input string, threshold uint64, optimize bool) dbt.C
 // buildCache builds each input of a target once. The first caller gets
 // the tape Build produced; later callers of the same input get the
 // shared (read-only) image with a fresh tape from Target.NewTape, or a
-// full rebuild when the target has no tape factory.
+// full rebuild when the target has no tape factory. Errors are not
+// memoized — a failed build is retried by the next caller, which is
+// what lets the retry machinery recover from transient build faults.
 type buildCache struct {
-	t       Target
-	mu      sync.Mutex
+	t      Target
+	faults *faultinject.Plan
+	mu     sync.Mutex
+	// mu guards entries and every entry. Holding it across Build
+	// serializes a target's ref and train builds; builds are a rounding
+	// error next to the runs, and serializing is what makes a failed
+	// build safely retryable.
 	entries map[string]*buildEntry
 	builds  atomic.Int64 // Build invocations, for tests
 }
 
 type buildEntry struct {
-	once     sync.Once
+	built    bool
 	img      *guest.Image
 	tape     interp.Tape
 	tapeUsed bool
-	err      error
 }
 
-func newBuildCache(t Target) *buildCache {
-	return &buildCache{t: t, entries: make(map[string]*buildEntry)}
+func newBuildCache(t Target, faults *faultinject.Plan) *buildCache {
+	return &buildCache{t: t, faults: faults, entries: make(map[string]*buildEntry)}
 }
 
 func (c *buildCache) get(input string) (*guest.Image, interp.Tape, error) {
+	// Injected build faults fire before the real builder is consulted
+	// and bypass the cache entirely, so a bounded fault ("*k") leaves
+	// later attempts a clean build to succeed with.
+	if err := c.faults.BuildError(c.t.Name, input); err != nil {
+		return nil, nil, fmt.Errorf("core: build %s/%s: %w", c.t.Name, input, err)
+	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := c.entries[input]
 	if e == nil {
 		e = &buildEntry{}
 		c.entries[input] = e
 	}
-	c.mu.Unlock()
-	e.once.Do(func() {
+	if !e.built {
 		c.builds.Add(1)
-		e.img, e.tape, e.err = c.t.Build(input)
-	})
-	if e.err != nil {
-		return nil, nil, fmt.Errorf("core: build %s/%s: %w", c.t.Name, input, e.err)
+		img, tape, err := c.t.Build(input)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: build %s/%s: %w", c.t.Name, input, err)
+		}
+		e.built, e.img, e.tape = true, img, tape
 	}
-	c.mu.Lock()
-	first := !e.tapeUsed
-	e.tapeUsed = true
-	c.mu.Unlock()
-	if first {
+	if !e.tapeUsed {
+		e.tapeUsed = true
 		return e.img, e.tape, nil
 	}
 	if c.t.NewTape != nil {
@@ -357,13 +406,18 @@ func scheduleBenchmark(s *Scheduler, t Target, opts Options, onDone func(*Benchm
 		opts:   opts,
 		out:    &BenchmarkResult{Name: t.Name, Results: make([]ThresholdResult, len(opts.Thresholds))},
 		onDone: onDone,
-		build:  newBuildCache(t),
+		build:  newBuildCache(t, opts.Faults),
 	}
 	// Work items: reference unit, training unit, training comparison,
 	// and one comparison per threshold.
 	b.remaining = len(opts.Thresholds) + 3
 	if t.Build == nil {
-		s.Go(func() error { return fmt.Errorf("core: target %q has no builder", t.Name) })
+		s.GoW(func(w int) error {
+			_, err := b.execute(obs.UnitBuild, 0, w, b.cancelAll, func() error {
+				return fmt.Errorf("core: target %q has no builder", t.Name)
+			})
+			return err
+		})
 		return b
 	}
 	s.GoW(b.refUnit)
@@ -371,16 +425,160 @@ func scheduleBenchmark(s *Scheduler, t Target, opts Options, onDone func(*Benchm
 	return b
 }
 
-// interruptedConfig attaches the scheduler's fail-fast channel.
+// dbtConfig attaches the scheduler's cancellation channel and any
+// armed guest-trap fault for this (bench, input).
 func (b *benchRun) dbtConfig(input string, threshold uint64, optimize bool) dbt.Config {
 	cfg := b.opts.dbtConfig(input, threshold, optimize)
 	cfg.Interrupt = b.s.Done()
+	if n, ok := b.opts.Faults.Trap(b.t.Name, input); ok {
+		cfg.TrapAfter = n
+	}
 	return cfg
+}
+
+// execute runs one unit body under the scheduler's failure policy,
+// with fault injection and bounded retry. The outcomes:
+//
+//   - success: (true, nil) — the body has done its own work-item
+//     accounting (spawning dependents, finishItem on the items it
+//     completed).
+//   - absorbed failure (Degrade): (false, nil) — the failure is
+//     recorded in the result and cancel has retired the unit's own
+//     item plus every dependent item that will now never be spawned,
+//     so the benchmark still completes and reports.
+//   - propagated failure (FailFast, or the pool is cancelling):
+//     (false, err) — the caller hands err to the scheduler, which
+//     cancels the study with it. No items are retired; the pool is
+//     collapsing and onDone must not fire.
+func (b *benchRun) execute(unit string, t uint64, worker int, cancel func(), f func() error) (ok bool, err error) {
+	attempts, err := b.runAttempts(unit, t, worker, f)
+	if err == nil {
+		return true, nil
+	}
+	if b.s.Policy() != Degrade || errors.Is(err, dbt.ErrInterrupted) || b.s.Stopped() {
+		return false, err
+	}
+	b.recordFailure(unit, t, attempts, err)
+	cancel()
+	return false, nil
+}
+
+// runAttempts runs the body up to Options.MaxAttempts times with
+// doubling backoff, reporting how many attempts ran and the final
+// error. Attempts stop early when the pool is cancelling or the run
+// was interrupted — retrying cancelled work would only delay shutdown.
+func (b *benchRun) runAttempts(unit string, t uint64, worker int, f func() error) (attempts int, err error) {
+	max := b.opts.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempts = 1; ; attempts++ {
+		err = b.protect(unit, t, f)
+		if err == nil || attempts >= max || errors.Is(err, dbt.ErrInterrupted) || b.s.Stopped() {
+			return attempts, err
+		}
+		if tm := b.opts.Timing; tm != nil {
+			tm.Retries.Add(1)
+		}
+		b.opts.Trace.Record(b.t.Name, obs.UnitRetry, t, worker, time.Now(), 0, 0, err)
+		if d := b.opts.RetryBackoff; d > 0 {
+			select {
+			case <-time.After(d << (attempts - 1)):
+			case <-b.s.Done():
+				return attempts, err
+			}
+		}
+	}
+}
+
+// protect runs the unit body once: injected delays and panics for this
+// site fire first, and any panic — injected or a genuine defect in the
+// body — is converted into an ordinary unit error so the failure
+// policy applies to it like to any other failure.
+func (b *benchRun) protect(unit string, t uint64, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: %s unit of %s panicked: %v", unit, b.t.Name, r)
+		}
+	}()
+	if d := b.opts.Faults.Delay(b.t.Name, unit, t); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-b.s.Done():
+		}
+	}
+	if msg, ok := b.opts.Faults.PanicMessage(b.t.Name, unit, t); ok {
+		panic(msg)
+	}
+	return f()
+}
+
+// recordFailure appends one absorbed failure under the result lock.
+// The append happens before the failing unit retires its work items,
+// and finishItem takes the same lock, so when the last item retires
+// and onDone publishes the result every failure is visible.
+func (b *benchRun) recordFailure(unit string, t uint64, attempts int, err error) {
+	b.mu.Lock()
+	b.out.Failures = append(b.out.Failures, UnitFailure{
+		Bench:    b.t.Name,
+		Unit:     unit,
+		T:        t,
+		Attempts: attempts,
+		Err:      err.Error(),
+	})
+	b.mu.Unlock()
+}
+
+// cancelRef retires everything the reference unit owes when it fails:
+// its own work item, every ladder comparison it would have spawned,
+// and the training comparison (unreachable without the AVEP snapshot).
+func (b *benchRun) cancelRef() {
+	b.retireTrainCompareOnce()
+	for range b.opts.Thresholds {
+		b.finishItem()
+	}
+	b.finishItem()
+}
+
+// cancelTrain retires the training unit's item and the training
+// comparison when the training run fails.
+func (b *benchRun) cancelTrain() {
+	b.retireTrainCompareOnce()
+	b.finishItem()
+}
+
+// cancelAll retires every work item of a benchmark none of whose units
+// can run (no builder).
+func (b *benchRun) cancelAll() {
+	b.cancelRef()
+	b.cancelTrain()
+}
+
+// retireTrainCompareOnce retires the training-comparison work item if
+// it has not yet run and never will. The trainCompared flag guards the
+// case where both run units fail and each tries to retire it.
+func (b *benchRun) retireTrainCompareOnce() {
+	b.mu.Lock()
+	retire := !b.trainCompared
+	if retire {
+		b.trainCompared = true
+	}
+	b.mu.Unlock()
+	if retire {
+		b.finishItem()
+	}
 }
 
 // refUnit produces the AVEP snapshot (and, in shared-trace mode, every
 // INIP(T) snapshot alongside it), then fans out the comparison units.
 func (b *benchRun) refUnit(worker int) error {
+	_, err := b.execute(obs.UnitRef, 0, worker, b.cancelRef, func() error {
+		return b.refBody(worker)
+	})
+	return err
+}
+
+func (b *benchRun) refBody(worker int) error {
 	start := time.Now()
 	img, tape, err := b.build.get("ref")
 	b.record(obs.UnitBuild, 0, worker, start, 0, err)
@@ -461,8 +659,16 @@ func (b *benchRun) recordAVEP(avep *profile.Snapshot, cfg dbt.Config) {
 	b.mu.Unlock()
 }
 
-// inipUnit runs one independent INIP(T) execution and compares it.
+// inipUnit runs one independent INIP(T) execution and compares it
+// inline. Its failure retires exactly its own ladder item.
 func (b *benchRun) inipUnit(i int, threshold uint64, worker int) error {
+	_, err := b.execute(obs.UnitRef, threshold, worker, b.finishItem, func() error {
+		return b.inipBody(i, threshold, worker)
+	})
+	return err
+}
+
+func (b *benchRun) inipBody(i int, threshold uint64, worker int) error {
 	start := time.Now()
 	img, tape, err := b.build.get("ref")
 	b.record(obs.UnitBuild, threshold, worker, start, 0, err)
@@ -479,15 +685,28 @@ func (b *benchRun) inipUnit(i int, threshold uint64, worker int) error {
 	}
 	b.addRunStats(stats)
 	b.record(obs.UnitRef, threshold, worker, start, stats.BlocksExecuted, nil)
-	return b.compareUnit([]int{i}, snap, stats, cfg, worker)
+	return b.compareBody([]int{i}, snap, stats, cfg, worker)
 }
 
-// compareUnit evaluates one INIP(T) snapshot against the AVEP memo and
+// compareUnit is the scheduled comparison unit of shared-trace mode.
+// Its failure retires every ladder item it serves.
+func (b *benchRun) compareUnit(idxs []int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config, worker int) error {
+	_, err := b.execute(obs.UnitCompare, cfg.Threshold, worker, func() {
+		for range idxs {
+			b.finishItem()
+		}
+	}, func() error {
+		return b.compareBody(idxs, snap, stats, cfg, worker)
+	})
+	return err
+}
+
+// compareBody evaluates one INIP(T) snapshot against the AVEP memo and
 // writes every ladder entry it serves — one in independent mode,
 // several when collapsed rungs share a follower (indexes are
 // rung-owned, no lock needed). The comparison runs once; collapsed
 // rungs receive identical results under their own paper-unit labels.
-func (b *benchRun) compareUnit(idxs []int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config, worker int) error {
+func (b *benchRun) compareBody(idxs []int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config, worker int) error {
 	start := time.Now()
 	summary, norm, err := Compare(snap, b.out.AVEP)
 	if err != nil {
@@ -521,6 +740,13 @@ func (b *benchRun) compareUnit(idxs []int, snap *profile.Snapshot, stats *dbt.Ru
 // trainUnit runs INIP(train) and stores its snapshot for the training
 // comparison.
 func (b *benchRun) trainUnit(worker int) error {
+	_, err := b.execute(obs.UnitTrain, 0, worker, b.cancelTrain, func() error {
+		return b.trainBody(worker)
+	})
+	return err
+}
+
+func (b *benchRun) trainBody(worker int) error {
 	start := time.Now()
 	img, tape, err := b.build.get("train")
 	b.record(obs.UnitBuild, 0, worker, start, 0, err)
@@ -547,7 +773,10 @@ func (b *benchRun) trainUnit(worker int) error {
 
 // maybeCompareTrain runs the training comparison in whichever run unit
 // finishes second — at that point it already holds a pool slot, so the
-// work runs inline instead of being queued.
+// work runs inline instead of being queued. It settles its own work
+// item: retired on success or absorbed failure, left outstanding on a
+// propagated failure (the pool is collapsing and onDone must not
+// fire).
 func (b *benchRun) maybeCompareTrain(worker int) {
 	b.mu.Lock()
 	ready := b.avep != nil && b.train != nil && !b.trainCompared
@@ -559,7 +788,10 @@ func (b *benchRun) maybeCompareTrain(worker int) {
 	if !ready {
 		return
 	}
-	if err := b.compareTrain(train, worker); err != nil {
+	_, err := b.execute(obs.UnitTrainCompare, 0, worker, func() {}, func() error {
+		return b.compareTrain(train, worker)
+	})
+	if err != nil {
 		b.s.fail(err)
 		return
 	}

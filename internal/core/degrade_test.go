@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+func mustPlan(t *testing.T, spec string) *faultinject.Plan {
+	t.Helper()
+	p, err := faultinject.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runDegraded schedules every target on one Degrade scheduler and
+// returns the completed results by name.
+func runDegraded(t *testing.T, opts Options, targets ...Target) map[string]*BenchmarkResult {
+	t.Helper()
+	s := NewSchedulerPolicy(2, Degrade)
+	done := make(map[string]*BenchmarkResult)
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	for _, target := range targets {
+		target := target
+		ScheduleBenchmark(s, target, opts, func(r *BenchmarkResult) {
+			<-mu
+			done[r.Name] = r
+			mu <- struct{}{}
+		})
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Degrade study failed outright: %v", err)
+	}
+	return done
+}
+
+// TestDegradeIsolatesFailingBenchmark: with an injected build failure
+// on one benchmark, the study must complete, record exactly one
+// UnitFailure on that benchmark, and leave the surviving benchmark's
+// result bit-identical to a run without any faults.
+func TestDegradeIsolatesFailingBenchmark(t *testing.T) {
+	opts := Options{Thresholds: []uint64{50, 100}, Perf: true}
+	bad := BuildFromAsm("bad", counterProgram())
+	good := BuildFromAsm("good", counterProgram())
+
+	clean, err := RunBenchmark(good, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := opts
+	faulty.Faults = mustPlan(t, "build:bad/ref")
+	done := runDegraded(t, faulty, bad, good)
+
+	if len(done) != 2 {
+		t.Fatalf("completed %d benchmarks, want 2", len(done))
+	}
+	b := done["bad"]
+	if len(b.Failures) != 1 {
+		t.Fatalf("bad.Failures = %+v, want exactly one", b.Failures)
+	}
+	f := b.Failures[0]
+	if f.Bench != "bad" || f.Unit != obs.UnitRef || f.Attempts != 1 {
+		t.Fatalf("failure misattributed: %+v", f)
+	}
+	if want := "core: build bad/ref: faultinject: build failure for bad/ref"; f.Err != want {
+		t.Fatalf("failure error = %q, want %q", f.Err, want)
+	}
+	for i, tr := range b.Results {
+		if !reflect.DeepEqual(tr, (ThresholdResult{})) {
+			t.Fatalf("failed benchmark recorded Results[%d]: %+v", i, tr)
+		}
+	}
+	if !reflect.DeepEqual(done["good"], clean) {
+		t.Fatal("surviving benchmark's result differs from the fault-free run")
+	}
+}
+
+// TestDegradePanicBecomesUnitFailure: an injected panic in one
+// threshold's comparison must degrade exactly that rung, not crash the
+// process or take down the other rungs.
+func TestDegradePanicBecomesUnitFailure(t *testing.T) {
+	opts := Options{
+		Thresholds: []uint64{50, 100},
+		Faults:     mustPlan(t, "panic:pan/compare@100*1"),
+	}
+	done := runDegraded(t, opts, BuildFromAsm("pan", counterProgram()))
+	b := done["pan"]
+	if len(b.Failures) != 1 {
+		t.Fatalf("Failures = %+v, want exactly one", b.Failures)
+	}
+	f := b.Failures[0]
+	if f.Unit != obs.UnitCompare || f.T != 100 {
+		t.Fatalf("failure misattributed: %+v", f)
+	}
+	if want := "core: compare unit of pan panicked: faultinject: panic in pan/compare"; f.Err != want {
+		t.Fatalf("failure error = %q, want %q", f.Err, want)
+	}
+	if b.Results[0].Summary.Blocks == 0 {
+		t.Fatal("surviving rung T=50 lost its result")
+	}
+	if !reflect.DeepEqual(b.Results[1], (ThresholdResult{})) {
+		t.Fatalf("panicked rung recorded a result: %+v", b.Results[1])
+	}
+}
+
+// TestFailFastPanicIsFirstError: under the default policy an injected
+// panic must cancel the study with the converted error, like any other
+// unit failure.
+func TestFailFastPanicIsFirstError(t *testing.T) {
+	s := NewScheduler(2)
+	opts := Options{
+		Thresholds: []uint64{50},
+		Faults:     mustPlan(t, "panic:pan/ref"),
+	}
+	ScheduleBenchmark(s, BuildFromAsm("pan", counterProgram()), opts, nil)
+	err := s.Wait()
+	if want := "core: ref unit of pan panicked: faultinject: panic in pan/ref"; err == nil || err.Error() != want {
+		t.Fatalf("Wait = %v, want %q", err, want)
+	}
+}
+
+// TestRetryRecoversTransientFault: a bounded build fault ("fail twice,
+// then work") must be absorbed by the retry loop, leaving a result
+// identical to a fault-free run plus a retry count of two.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	target := BuildFromAsm("flaky", counterProgram())
+	opts := Options{Thresholds: []uint64{50, 100}, Perf: true}
+	clean, err := RunBenchmark(target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tm Timing
+	faulty := opts
+	faulty.Faults = mustPlan(t, "build:flaky/ref*2")
+	faulty.MaxAttempts = 3
+	faulty.Timing = &tm
+	got, err := RunBenchmark(target, faulty)
+	if err != nil {
+		t.Fatalf("transient fault not recovered: %v", err)
+	}
+	if !reflect.DeepEqual(got, clean) {
+		t.Fatal("recovered result differs from the fault-free run")
+	}
+	if retries := tm.Retries.Load(); retries != 2 {
+		t.Fatalf("Retries = %d, want 2", retries)
+	}
+	if !faulty.Faults.Empty() {
+		t.Fatalf("bounded fault still armed: %s", faulty.Faults)
+	}
+}
+
+// TestRetryGivesUpAtMaxAttempts: an unbounded fault must exhaust
+// MaxAttempts and surface the attempt count in the recorded failure.
+func TestRetryGivesUpAtMaxAttempts(t *testing.T) {
+	opts := Options{
+		Thresholds:   []uint64{50},
+		Faults:       mustPlan(t, "build:doomed/ref"),
+		MaxAttempts:  3,
+		RetryBackoff: time.Microsecond,
+	}
+	done := runDegraded(t, opts, BuildFromAsm("doomed", counterProgram()))
+	b := done["doomed"]
+	if len(b.Failures) != 1 || b.Failures[0].Attempts != 3 {
+		t.Fatalf("Failures = %+v, want one failure after 3 attempts", b.Failures)
+	}
+}
+
+// TestDegradeTrapIsolatesGuestFault: an injected guest trap mid-run
+// must be recorded as a reference-unit failure while the sibling
+// benchmark completes untouched.
+func TestDegradeTrapIsolatesGuestFault(t *testing.T) {
+	opts := Options{Thresholds: []uint64{50}}
+	clean, err := RunBenchmark(BuildFromAsm("ok", counterProgram()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := opts
+	faulty.Faults = mustPlan(t, "trap:trapped/ref@50")
+	done := runDegraded(t, faulty,
+		BuildFromAsm("trapped", counterProgram()), BuildFromAsm("ok", counterProgram()))
+	b := done["trapped"]
+	if len(b.Failures) != 1 || b.Failures[0].Unit != obs.UnitRef {
+		t.Fatalf("Failures = %+v, want one ref-unit failure", b.Failures)
+	}
+	if !reflect.DeepEqual(done["ok"], clean) {
+		t.Fatal("sibling benchmark's result differs from the fault-free run")
+	}
+}
+
+// TestSlowFaultOnlyDelays: a slow fault must not change any result.
+func TestSlowFaultOnlyDelays(t *testing.T) {
+	target := BuildFromAsm("slowpoke", counterProgram())
+	opts := Options{Thresholds: []uint64{50}}
+	clean, err := RunBenchmark(target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := opts
+	faulty.Faults = mustPlan(t, "slow:slowpoke/train:10ms*1")
+	start := time.Now()
+	got, err := RunBenchmark(target, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, clean) {
+		t.Fatal("slow fault changed the result")
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("slow fault did not delay the unit")
+	}
+}
+
+// TestStopReturnsErrStopped: cooperative Stop must interrupt in-flight
+// guest runs and surface ErrStopped, not a unit error.
+func TestStopReturnsErrStopped(t *testing.T) {
+	for _, policy := range []FailurePolicy{FailFast, Degrade} {
+		s := NewSchedulerPolicy(2, policy)
+		ScheduleBenchmark(s, BuildFromAsm("longrun", loopProgram()),
+			Options{Thresholds: []uint64{100}}, nil)
+		time.Sleep(20 * time.Millisecond)
+		s.Stop()
+		done := make(chan error, 1)
+		go func() { done <- s.Wait() }()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("policy %v: Wait = %v, want ErrStopped", policy, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("policy %v: Stop did not interrupt the running benchmark", policy)
+		}
+	}
+}
+
+// TestParseFailurePolicy covers the flag round trip.
+func TestParseFailurePolicy(t *testing.T) {
+	for _, p := range []FailurePolicy{FailFast, Degrade} {
+		got, err := ParseFailurePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip of %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseFailurePolicy("explode"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,14 +1,64 @@
 // Run-level work scheduler: the study pipeline is decomposed into
 // independent units — per-benchmark reference runs, training runs and
 // per-threshold comparisons — scheduled over one shared bounded worker
-// pool, with fail-fast cancellation so one failing benchmark stops the
-// rest instead of letting them run to completion first.
+// pool. The failure policy picks what a unit error does to the rest:
+// fail-fast cancellation (one failing benchmark stops the whole study)
+// or graceful degradation (the failing benchmark is isolated and the
+// others run to completion).
 package core
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// FailurePolicy selects what a unit failure does to the rest of the
+// study.
+type FailurePolicy int
+
+const (
+	// FailFast cancels the whole pool on the first unit error: the study
+	// stops, Wait returns that error verbatim, and no partial results are
+	// reported. This is the default.
+	FailFast FailurePolicy = iota
+	// Degrade isolates a failing benchmark: its remaining units are
+	// retired instead of run, the failure is recorded in the benchmark's
+	// result (BenchmarkResult.Failures), and every other benchmark runs
+	// to completion. The scheduler itself only cancels on Stop or on a
+	// defect (a panic escaping a unit wrapper).
+	Degrade
+)
+
+// String names the policy as it appears in flags and reports.
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "failfast"
+	case Degrade:
+		return "degrade"
+	}
+	return fmt.Sprintf("FailurePolicy(%d)", int(p))
+}
+
+// ParseFailurePolicy parses a policy name as accepted on the command
+// line.
+func ParseFailurePolicy(s string) (FailurePolicy, error) {
+	switch s {
+	case "failfast":
+		return FailFast, nil
+	case "degrade":
+		return Degrade, nil
+	}
+	return 0, fmt.Errorf("core: unknown failure policy %q (want failfast or degrade)", s)
+}
+
+// ErrStopped is the first error of a scheduler cancelled with Stop: a
+// cooperative shutdown (SIGINT drain, a unit quota), distinct from a
+// unit failure. Callers that checkpoint partial results test for it
+// with errors.Is.
+var ErrStopped = errors.New("core: study stopped")
 
 // Scheduler is a bounded worker pool with first-error fail-fast. Units
 // are scheduled with Go/GoW — including from inside a running unit,
@@ -22,16 +72,22 @@ import (
 type Scheduler struct {
 	ids     chan int
 	workers int
+	policy  FailurePolicy
 	done    chan struct{}
 	once    sync.Once
 	err     error
 	wg      sync.WaitGroup
 }
 
-// NewScheduler returns a scheduler running at most workers units
-// concurrently. The default (workers <= 0) is GOMAXPROCS, which —
+// NewScheduler returns a fail-fast scheduler running at most workers
+// units concurrently. The default (workers <= 0) is GOMAXPROCS, which —
 // unlike NumCPU — respects cgroup quotas and GOMAXPROCS overrides.
 func NewScheduler(workers int) *Scheduler {
+	return NewSchedulerPolicy(workers, FailFast)
+}
+
+// NewSchedulerPolicy is NewScheduler with an explicit failure policy.
+func NewSchedulerPolicy(workers int, policy FailurePolicy) *Scheduler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -42,9 +98,13 @@ func NewScheduler(workers int) *Scheduler {
 	return &Scheduler{
 		ids:     ids,
 		workers: workers,
+		policy:  policy,
 		done:    make(chan struct{}),
 	}
 }
+
+// Policy reports the scheduler's failure policy.
+func (s *Scheduler) Policy() FailurePolicy { return s.policy }
 
 // Workers reports the resolved pool size — the number the scheduler
 // actually runs with, not the possibly-zero value it was asked for.
@@ -61,6 +121,22 @@ func (s *Scheduler) fail(err error) {
 		s.err = err
 		close(s.done)
 	})
+}
+
+// Stop cancels the pool cooperatively: pending units are dropped,
+// in-flight translator runs are interrupted through Done, and Wait
+// returns ErrStopped (unless a unit failure already won the race).
+func (s *Scheduler) Stop() { s.fail(ErrStopped) }
+
+// Stopped reports whether the pool is cancelling — by Stop or by a
+// failure. Units use it to cut retry loops short.
+func (s *Scheduler) Stopped() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Go schedules a unit that does not need its worker id.
@@ -87,10 +163,24 @@ func (s *Scheduler) GoW(f func(worker int) error) {
 			return
 		default:
 		}
-		if err := f(id); err != nil {
+		if err := s.protect(f, id); err != nil {
 			s.fail(err)
 		}
 	}()
+}
+
+// protect is the pool's panic backstop: a panic that escapes a unit —
+// the study's own unit wrappers convert expected panics to recorded
+// failures first, so anything arriving here is a defect — becomes the
+// scheduler's first error instead of crashing the process, and the
+// other workers drain normally.
+func (s *Scheduler) protect(f func(int) error, id int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: unit panicked: %v", r)
+		}
+	}()
+	return f(id)
 }
 
 // Wait blocks until every scheduled unit has finished (or been dropped

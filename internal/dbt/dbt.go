@@ -79,6 +79,13 @@ type Config struct {
 	// benchmark does not let the rest run to completion.
 	Interrupt <-chan struct{}
 
+	// TrapAfter, when non-zero, aborts the run with an injected guest
+	// trap once this many blocks have executed. It exists for the
+	// deterministic fault-injection harness (internal/faultinject):
+	// every mid-run abort path of the study executor can be forced at
+	// an exact, reproducible point. Production runs leave it zero.
+	TrapAfter uint64
+
 	// DisableFastPath forces block execution through the generic
 	// interp.Exec dispatch instead of the pre-lowered records. It exists
 	// for cross-validation (the equivalence tests run both paths) and
@@ -300,6 +307,7 @@ type Engine struct {
 	cur       *tblock
 	halted    bool
 	budget    uint64
+	trapAfter uint64
 	interrupt <-chan struct{}
 	optimize  bool
 	converge  bool
@@ -341,6 +349,7 @@ func New(img *guest.Image, tape interp.Tape, cfg Config) (*Engine, error) {
 		former:    region.NewFormer(rcfg),
 		rts:       make(map[*profile.Region]*regionRT),
 		budget:    cfg.MaxBlockExecs,
+		trapAfter: cfg.TrapAfter,
 		interrupt: cfg.Interrupt,
 		optimize:  cfg.Optimize,
 		converge:  cfg.ConvergeRegister,
@@ -686,6 +695,9 @@ func (e *Engine) preExec() error {
 	if e.budget > 0 && e.stats.BlocksExecuted > e.budget {
 		return e.budgetExhausted()
 	}
+	if e.trapAfter > 0 && e.stats.BlocksExecuted >= e.trapAfter {
+		return e.trapped()
+	}
 	if e.stats.BlocksExecuted&interruptCheckMask == 0 {
 		// Checkpoints count on every engine — with or without an
 		// interrupt channel — so shared-trace followers (whose channel
@@ -702,6 +714,11 @@ func (e *Engine) preExec() error {
 //go:noinline
 func (e *Engine) budgetExhausted() error {
 	return fmt.Errorf("dbt: block execution budget %d exhausted", e.budget)
+}
+
+//go:noinline
+func (e *Engine) trapped() error {
+	return fmt.Errorf("dbt: injected guest trap at block %d", e.stats.BlocksExecuted)
 }
 
 //go:noinline

@@ -32,6 +32,8 @@ const (
 	UnitCompare      = "compare"       // one INIP(T)-vs-AVEP normalization + metrics
 	UnitTrainCompare = "train_compare" // the INIP(train)-vs-AVEP comparison
 	UnitRun          = "run"           // a standalone translator run (cmd/dbtrun)
+	UnitRetry        = "retry"         // a failed unit attempt about to be retried
+	UnitCheckpoint   = "checkpoint"    // one checkpoint write (Err set when it failed)
 )
 
 // validUnits gates ReadEvents: an unknown unit name means the producer
@@ -43,6 +45,8 @@ var validUnits = map[string]bool{
 	UnitCompare:      true,
 	UnitTrainCompare: true,
 	UnitRun:          true,
+	UnitRetry:        true,
+	UnitCheckpoint:   true,
 }
 
 // Event is one flight-recorder record: a completed span of pipeline

@@ -26,6 +26,12 @@ type Figure struct {
 	Series []Series
 	// Notes carry reproduction caveats.
 	Notes []string
+	// Gaps name data this figure is missing because benchmarks were
+	// excluded after absorbed unit failures (Degrade policy). They are
+	// rendered in reports but excluded from JSON output, so a degraded
+	// run's figures stay byte-identical to a clean run over the
+	// surviving benchmarks.
+	Gaps []string `json:"-"`
 }
 
 // accuracyIndexes returns ladder indexes for the accuracy figures
@@ -57,12 +63,13 @@ func constSeries(label string, v float64, n int) Series {
 	return Series{Label: label, Y: y}
 }
 
-// perBenchSeries builds one series per benchmark of the class.
+// perBenchSeries builds one series per surviving benchmark of the
+// class (failed benchmarks are annotated in Gaps instead of plotted).
 func (r *Results) perBenchSeries(c spec.Class, keep []int, f func(*core.ThresholdResult, *BenchmarkSeries) float64) []Series {
 	var out []Series
 	for bi := range r.Series {
 		s := &r.Series[bi]
-		if s.Class != c {
+		if s.Class != c || !s.ok() {
 			continue
 		}
 		y := make([]float64, len(keep))
@@ -234,7 +241,7 @@ func (r *Results) Figure17() Figure {
 			sum, n := 0.0, 0
 			for bi := range r.Series {
 				s := &r.Series[bi]
-				if s.Class != class || s.Name == skip {
+				if s.Class != class || s.Name == skip || !s.ok() {
 					continue
 				}
 				base := s.PerT[baseIdx].Cycles
@@ -277,7 +284,7 @@ func (r *Results) Figure18() Figure {
 			sum, n := 0.0, 0
 			for bi := range r.Series {
 				s := &r.Series[bi]
-				if s.Class != class || s.TrainOps == 0 {
+				if s.Class != class || s.TrainOps == 0 || !s.ok() {
 					continue
 				}
 				sum += float64(s.PerT[ti].ProfilingOps) / float64(s.TrainOps)
@@ -301,13 +308,39 @@ func (r *Results) Figure18() Figure {
 	}
 }
 
-// Figures returns all evaluation figures in paper order.
+// gapNotes describes every benchmark a degraded run excluded from the
+// figures, one line per recorded failure, in suite order (failures
+// within a benchmark are already sorted by unit and threshold).
+func (r *Results) gapNotes() []string {
+	var out []string
+	for i := range r.Series {
+		s := &r.Series[i]
+		for _, f := range s.Failures {
+			site := f.Unit
+			if f.T != 0 {
+				site = fmt.Sprintf("%s@T=%d", f.Unit, f.T)
+			}
+			out = append(out, fmt.Sprintf("gap: %s excluded — %s failed after %d attempt(s): %s",
+				f.Bench, site, f.Attempts, f.Err))
+		}
+	}
+	return out
+}
+
+// Figures returns all evaluation figures in paper order, each
+// annotated with the gaps a degraded run left.
 func (r *Results) Figures() []Figure {
-	return []Figure{
+	figs := []Figure{
 		r.Figure8(), r.Figure9(), r.Figure10(), r.Figure11(), r.Figure12(),
 		r.Figure13(), r.Figure14(), r.Figure15(), r.Figure16(),
 		r.Figure17(), r.Figure18(),
 	}
+	if gaps := r.gapNotes(); len(gaps) > 0 {
+		for i := range figs {
+			figs[i].Gaps = gaps
+		}
+	}
+	return figs
 }
 
 // FigureByID returns the named figure ("fig8".."fig18"), or false.

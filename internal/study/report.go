@@ -46,6 +46,9 @@ func (f Figure) Markdown() string {
 	for _, n := range f.Notes {
 		fmt.Fprintf(&b, "\n*%s*\n", n)
 	}
+	for _, g := range f.Gaps {
+		fmt.Fprintf(&b, "\n*%s*\n", g)
+	}
 	return b.String()
 }
 
@@ -77,6 +80,9 @@ func (r *Results) TextReport(charts bool) string {
 		}
 		for _, n := range f.Notes {
 			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+		for _, g := range f.Gaps {
+			fmt.Fprintf(&b, "%s\n", g)
 		}
 		b.WriteByte('\n')
 	}

@@ -11,8 +11,10 @@
 package study
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/spec"
@@ -68,10 +71,42 @@ type Config struct {
 	// completed pipeline span (see internal/obs). Tracing never alters
 	// results: figure output is byte-identical with it on or off.
 	Trace *obs.Recorder
+	// Policy selects what a unit failure does to the study: cancel it
+	// (core.FailFast, the default) or isolate the failing benchmark and
+	// let the rest complete (core.Degrade). Degraded results carry the
+	// failures in Results.Failures and exclude the failed benchmarks
+	// from every figure.
+	Policy core.FailurePolicy
+	// MaxAttempts and RetryBackoff bound per-unit retry (see
+	// core.Options); the defaults (0) run every unit once.
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	// Faults is the armed fault-injection plan, nil for none. Faults
+	// are consulted at fixed pipeline sites, so a given plan fails the
+	// same way on every run.
+	Faults *faultinject.Plan
+	// Checkpoint, when non-empty, persists every completed benchmark
+	// series to this file (versioned JSONL, atomically rewritten on
+	// each completion), so an interrupted study can resume instead of
+	// rerunning finished work. Benchmarks with absorbed failures are
+	// not checkpointed — a resumed run retries them.
+	Checkpoint string
+	// Resume loads Checkpoint before running and schedules only the
+	// benchmarks without a stored series. The checkpoint must match
+	// this config's scale, ladder, run mode and benchmark set.
+	Resume bool
+	// Stop, when non-nil, triggers a graceful drain when it is closed:
+	// in-flight guest runs are interrupted, completed series stay
+	// checkpointed, and Run returns the partial results with ErrStopped.
+	Stop <-chan struct{}
+	// StopAfter, when positive, stops the study after that many
+	// benchmark completions — a deterministic stand-in for Stop in
+	// tests and the kill-and-resume CI smoke.
+	StopAfter int
 }
 
 func (c *Config) defaults() {
-	if c.Scale <= 0 {
+	if c.Scale == 0 {
 		c.Scale = 1.0
 	}
 	if len(c.Thresholds) == 0 {
@@ -83,6 +118,54 @@ func (c *Config) defaults() {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+}
+
+// ErrStopped re-exports the scheduler's cooperative-stop sentinel:
+// Run returns it (wrapped) together with the partial results when the
+// study was drained through Stop or StopAfter.
+var ErrStopped = core.ErrStopped
+
+// Validate rejects configurations that would run garbage rather than
+// fail up front, naming the offending value. Run calls it after
+// applying defaults; commands call it directly to report flag errors
+// before any work starts.
+func (c *Config) Validate() error {
+	if math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) || c.Scale <= 0 {
+		return fmt.Errorf("study: invalid scale %v (want a positive factor)", c.Scale)
+	}
+	seen := make(map[float64]bool, len(c.Thresholds))
+	for _, t := range c.Thresholds {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t <= 0 {
+			return fmt.Errorf("study: invalid threshold %v (want a positive paper-unit value)", t)
+		}
+		if seen[t] {
+			return fmt.Errorf("study: duplicate threshold %v in ladder", t)
+		}
+		seen[t] = true
+	}
+	names := make(map[string]bool, len(c.Benchmarks))
+	for i, b := range c.Benchmarks {
+		if b == nil {
+			return fmt.Errorf("study: benchmark %d is nil", i)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("study: benchmark %q selected twice", b.Name)
+		}
+		names[b.Name] = true
+	}
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("study: invalid max attempts %d", c.MaxAttempts)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("study: invalid retry backoff %v", c.RetryBackoff)
+	}
+	if c.StopAfter < 0 {
+		return fmt.Errorf("study: invalid stop-after count %d", c.StopAfter)
+	}
+	if c.Resume && c.Checkpoint == "" {
+		return errors.New("study: resume requested without a checkpoint path")
+	}
+	return nil
 }
 
 // EffectiveThreshold converts a paper-unit threshold to the scaled value
@@ -110,6 +193,18 @@ type BenchmarkSeries struct {
 	AVEPCycles float64
 	// PerT is indexed like Results.PaperT.
 	PerT []core.ThresholdResult
+	// Failures lists the units of this benchmark that failed permanently
+	// under the Degrade policy, sorted by unit and threshold. A series
+	// with failures carries incomplete data and is excluded from every
+	// figure (the exclusion is annotated in Figure.Gaps).
+	Failures []core.UnitFailure `json:",omitempty"`
+}
+
+// ok reports whether the series carries complete measurement data: the
+// benchmark finished (a stopped study leaves unfinished series with an
+// empty name) and none of its units failed.
+func (s *BenchmarkSeries) ok() bool {
+	return s.Name != "" && len(s.Failures) == 0
 }
 
 // Results is the study output.
@@ -117,6 +212,10 @@ type Results struct {
 	Scale  float64
 	PaperT []float64
 	Series []BenchmarkSeries
+	// Failures flattens every absorbed unit failure across the suite,
+	// sorted by benchmark, unit and threshold — the study-level record
+	// of what a degraded run is missing.
+	Failures []core.UnitFailure `json:",omitempty"`
 	// Perf reports where the study's wall-clock went.
 	Perf Perf
 }
@@ -155,13 +254,32 @@ type Perf struct {
 	// and flight-recorder events dropped on queue overflow.
 	ProgressWriteErrors uint64 `json:"progress_write_errors,omitempty"`
 	TraceEventsDropped  uint64 `json:"trace_events_dropped,omitempty"`
+
+	// Robustness accounting (all zero on a clean fail-fast run, so the
+	// report shape is unchanged when the machinery is idle): permanent
+	// unit failures absorbed by Degrade, failed attempts that were
+	// retried, series restored from a checkpoint instead of re-run, and
+	// checkpoint writes (with how many of them failed).
+	UnitFailures          int    `json:"unit_failures,omitempty"`
+	UnitRetries           int64  `json:"unit_retries,omitempty"`
+	ResumedSeries         int    `json:"resumed_series,omitempty"`
+	CheckpointWrites      uint64 `json:"checkpoint_writes,omitempty"`
+	CheckpointWriteErrors uint64 `json:"checkpoint_write_errors,omitempty"`
 }
 
 // Run executes the study: every benchmark is decomposed into run units
 // (reference execution, training run, per-threshold comparisons) on one
-// shared worker pool with fail-fast cancellation.
+// shared worker pool. The failure policy decides whether a unit error
+// cancels the study (fail-fast, the default) or only its benchmark
+// (degrade); with a checkpoint configured, completed benchmarks are
+// persisted as they finish and a resumed run re-executes only the
+// missing ones. On a graceful stop Run returns the partial results
+// together with a wrapped ErrStopped.
 func Run(cfg Config) (*Results, error) {
 	cfg.defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	paperT := append([]float64(nil), cfg.Thresholds...)
 	sort.Float64s(paperT)
 	thresholds := make([]uint64, len(paperT))
@@ -170,16 +288,51 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	res := &Results{Scale: cfg.Scale, PaperT: paperT, Series: make([]BenchmarkSeries, len(cfg.Benchmarks))}
+	ckpt, resumed, err := openCheckpoint(&cfg, paperT)
+	if err != nil {
+		return nil, err
+	}
+
 	var timing core.Timing
 	var progressErrs atomic.Uint64
 	start := time.Now()
-	sched := core.NewScheduler(cfg.Parallelism)
+	sched := core.NewSchedulerPolicy(cfg.Parallelism, cfg.Policy)
+	if cfg.Stop != nil {
+		go func() {
+			select {
+			case <-cfg.Stop:
+				sched.Stop()
+			case <-sched.Done():
+			}
+		}()
+	}
 	// progressMu serializes Progress writes only; result recording is
 	// lock-free (each benchmark owns its series slot), so a slow writer
 	// never stalls the pool.
 	var progressMu sync.Mutex
+	progress := func(line string) {
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		_, werr := io.WriteString(cfg.Progress, line)
+		progressMu.Unlock()
+		if werr != nil {
+			// A broken progress sink must not abort (or skew) a
+			// multi-minute study, but it must not vanish either:
+			// count the dropped line and surface it in Perf.
+			progressErrs.Add(1)
+		}
+	}
+	var completions atomic.Int64
 	for i, b := range cfg.Benchmarks {
 		i, b := i, b
+		if s, ok := resumed[b.Name]; ok {
+			res.Series[i] = s
+			ckpt.keep(s)
+			progress(fmt.Sprintf("skip %-8s (%s): restored from checkpoint\n", b.Name, b.Class))
+			continue
+		}
 		opts := core.Options{
 			Thresholds:      thresholds,
 			PoolTrigger:     cfg.PoolTrigger,
@@ -187,8 +340,12 @@ func Run(cfg Config) (*Results, error) {
 			IndependentRuns: cfg.IndependentRuns,
 			Timing:          &timing,
 			Trace:           cfg.Trace,
+			Faults:          cfg.Faults,
+			MaxAttempts:     cfg.MaxAttempts,
+			RetryBackoff:    cfg.RetryBackoff,
 		}
 		core.ScheduleBenchmark(sched, b.Target(cfg.Scale), opts, func(out *core.BenchmarkResult) {
+			sortFailures(out.Failures)
 			res.Series[i] = BenchmarkSeries{
 				Name:         b.Name,
 				Class:        b.Class,
@@ -197,25 +354,31 @@ func Run(cfg Config) (*Results, error) {
 				TrainOps:     out.TrainOps,
 				AVEPCycles:   out.AVEPCycles,
 				PerT:         out.Results,
+				Failures:     out.Failures,
 			}
-			if cfg.Progress != nil {
-				line := fmt.Sprintf("done %-8s (%s): train Sd.BP=%.3f mismatch=%.1f%%\n",
-					b.Name, b.Class, out.Train.SdBP, out.Train.BPMismatch*100)
-				progressMu.Lock()
-				_, werr := io.WriteString(cfg.Progress, line)
-				progressMu.Unlock()
-				if werr != nil {
-					// A broken progress sink must not abort (or skew) a
-					// multi-minute study, but it must not vanish either:
-					// count the dropped line and surface it in Perf.
-					progressErrs.Add(1)
-				}
+			if len(out.Failures) == 0 {
+				ckpt.commit(res.Series[i], cfg.Trace)
+				progress(fmt.Sprintf("done %-8s (%s): train Sd.BP=%.3f mismatch=%.1f%%\n",
+					b.Name, b.Class, out.Train.SdBP, out.Train.BPMismatch*100))
+			} else {
+				progress(fmt.Sprintf("FAIL %-8s (%s): %d unit failure(s), first: %s\n",
+					b.Name, b.Class, len(out.Failures), out.Failures[0].Err))
+			}
+			if n := cfg.StopAfter; n > 0 && completions.Add(1) == int64(n) {
+				sched.Stop()
 			}
 		})
 	}
-	if err := sched.Wait(); err != nil {
-		return nil, fmt.Errorf("study: %w", err)
+	werr := sched.Wait()
+	if werr != nil && !errors.Is(werr, core.ErrStopped) {
+		return nil, fmt.Errorf("study: %w", werr)
 	}
+
+	for i := range res.Series {
+		res.Failures = append(res.Failures, res.Series[i].Failures...)
+	}
+	sortFailures(res.Failures)
+
 	wall := time.Since(start)
 	res.Perf = Perf{
 		WallSeconds:    wall.Seconds(),
@@ -240,11 +403,37 @@ func Run(cfg Config) (*Results, error) {
 		ProgressWriteErrors: progressErrs.Load(),
 		// Exact here: every emitter finished when Wait returned.
 		TraceEventsDropped: cfg.Trace.Dropped(),
+
+		UnitFailures:          len(res.Failures),
+		UnitRetries:           timing.Retries.Load(),
+		ResumedSeries:         len(resumed),
+		CheckpointWrites:      ckpt.writes(),
+		CheckpointWriteErrors: ckpt.writeErrors(),
 	}
 	if wall > 0 {
 		res.Perf.BlocksPerSec = float64(res.Perf.BlocksExecuted) / wall.Seconds()
 	}
+	if werr != nil {
+		// Graceful stop: the caller gets everything that completed (and
+		// was checkpointed) plus the sentinel to tell this apart from
+		// success or failure.
+		return res, fmt.Errorf("study: %w", werr)
+	}
 	return res, nil
+}
+
+// sortFailures orders failures deterministically: by benchmark, unit,
+// then threshold (unit completion order is scheduling-dependent).
+func sortFailures(fs []core.UnitFailure) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Bench != fs[j].Bench {
+			return fs[i].Bench < fs[j].Bench
+		}
+		if fs[i].Unit != fs[j].Unit {
+			return fs[i].Unit < fs[j].Unit
+		}
+		return fs[i].T < fs[j].T
+	})
 }
 
 // ByName returns the series of the named benchmark, or nil.
@@ -258,10 +447,13 @@ func (r *Results) ByName(name string) *BenchmarkSeries {
 }
 
 // classIndexes returns the series indexes belonging to the class.
+// Failed or unfinished series are excluded here — the single chokepoint
+// every aggregation goes through — so a degraded study's figures are
+// computed exactly as if the failed benchmarks had not been selected.
 func (r *Results) classIndexes(c spec.Class) []int {
 	var out []int
 	for i := range r.Series {
-		if r.Series[i].Class == c {
+		if r.Series[i].Class == c && r.Series[i].ok() {
 			out = append(out, i)
 		}
 	}
