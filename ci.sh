@@ -76,4 +76,30 @@ test -s "$tmpdir/state.jsonl"
     -checkpoint "$tmpdir/state.jsonl" -resume > "$tmpdir/resumed.txt"
 cmp "$tmpdir/full.txt" "$tmpdir/resumed.txt"
 
+echo "== cold/warm result-cache smoke (-race) =="
+# A cold full-suite run populates the cache; the warm rerun must serve
+# everything from it — zero guest blocks executed, nonzero hits — and
+# its figure output must be byte-identical to the cold run's. The
+# differential verify pass then re-executes everything against the
+# warmed store.
+"$tmpdir/inipstudy" -scale 0.001 -fig all -cache "$tmpdir/cache" \
+    -benchjson "$tmpdir/cold.json" > "$tmpdir/cold-figs.txt" 2> /dev/null
+"$tmpdir/inipstudy" -scale 0.001 -fig all -cache "$tmpdir/cache" \
+    -benchjson "$tmpdir/warm.json" > "$tmpdir/warm-figs.txt" 2> "$tmpdir/warm.err"
+cmp "$tmpdir/cold-figs.txt" "$tmpdir/warm-figs.txt"
+grep -q '"blocks_executed": 0' "$tmpdir/warm.json"
+# result_cache_hits is omitted from the JSON when zero, so its presence
+# asserts the warm run actually hit the cache.
+grep -q '"result_cache_hits"' "$tmpdir/warm.json"
+grep -q ' 0 misses, 0 stores, 0 errors$' "$tmpdir/warm.err"
+"$tmpdir/inipstudy" -scale 0.001 -fig all -cache "$tmpdir/cache" \
+    -cacheverify > "$tmpdir/verify-figs.txt" 2> /dev/null
+cmp "$tmpdir/cold-figs.txt" "$tmpdir/verify-figs.txt"
+
+echo "== fuzz smoke (10s per target) =="
+go test -run='^$' -fuzz='^FuzzISADecode$' -fuzztime=10s ./internal/isa/
+go test -run='^$' -fuzz='^FuzzImageLoad$' -fuzztime=10s ./internal/guest/
+go test -run='^$' -fuzz='^FuzzFaultSpec$' -fuzztime=10s ./internal/faultinject/
+go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s ./internal/study/
+
 echo "CI OK"

@@ -10,6 +10,8 @@
 //	inipstudy -checkpoint state.jsonl            # persist finished benchmarks
 //	inipstudy -checkpoint state.jsonl -resume    # continue an interrupted run
 //	inipstudy -failpolicy degrade -retry 3       # survive benchmark failures
+//	inipstudy -cache results.cache               # memoize unit results on disk
+//	inipstudy -cache results.cache -cacheverify  # differential cache self-check
 //
 // The default scale of 1.0 runs the paper's actual threshold ladder
 // 100..4M (a few minutes); -scale 0.1 gives a quick low-resolution pass.
@@ -35,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 	"repro/internal/spec"
 	"repro/internal/study"
 	"repro/internal/textplot"
@@ -127,6 +130,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkpoint   = fs.String("checkpoint", "", "persist completed benchmarks to this JSONL file as they finish")
 		resume       = fs.Bool("resume", false, "restore completed benchmarks from -checkpoint and run only the remainder")
 		stopAfter    = fs.Int("stopafter", 0, "stop gracefully after this many benchmark completions (testing hook for resume)")
+		cacheDir     = fs.String("cache", "", "memoize unit results in this content-addressed directory; a warm rerun of an unchanged study executes zero guest blocks")
+		cacheVerify  = fs.Bool("cacheverify", false, "execute every unit despite cache hits and hard-error if a cached value diverges (requires -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -198,6 +203,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg.Policy = pol
+	if *cacheVerify && *cacheDir == "" {
+		fmt.Fprintln(stderr, "inipstudy: -cacheverify requires -cache")
+		return 2
+	}
+	if *cacheDir != "" {
+		store, serr := resultcache.Open(*cacheDir)
+		if serr != nil {
+			fmt.Fprintf(stderr, "inipstudy: %v\n", serr)
+			return 1
+		}
+		cfg.Cache = store
+		cfg.CacheVerify = *cacheVerify
+	}
 	if *inject != "" {
 		plan, ferr := faultinject.Parse(*inject)
 		if ferr != nil {
@@ -291,6 +309,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stderr, "  %s: %s failed after %d attempt(s): %s\n", f.Bench, site, f.Attempts, f.Err)
 		}
+	}
+
+	if cfg.Cache != nil {
+		c := cfg.Cache.Counters()
+		fmt.Fprintf(stderr, "cache %s: %d hits, %d misses, %d stores, %d errors\n",
+			*cacheDir, c.Hits, c.Misses, c.Stores, c.Errors)
 	}
 
 	if stopped {

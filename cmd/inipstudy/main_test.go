@@ -252,3 +252,68 @@ func TestCheckpointResumeCLI(t *testing.T) {
 			full.String(), resumed.String())
 	}
 }
+
+// TestCacheCLI: a cold -cache run stores entries, a warm rerun serves
+// the whole study from the cache — zero guest blocks executed, nonzero
+// hits, byte-identical figures — and -cacheverify re-executes the suite
+// against the cached values and passes.
+func TestCacheCLI(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	base := []string{"-scale", "0.001", "-bench", "gzip,swim", "-fig", "fig8", "-cache", cacheDir}
+
+	var cold, coldErr bytes.Buffer
+	args := append([]string{"-benchjson", filepath.Join(dir, "cold.json")}, base...)
+	if code := run(args, &cold, &coldErr); code != 0 {
+		t.Fatalf("cold run exited %d:\n%s", code, coldErr.String())
+	}
+	if !strings.Contains(coldErr.String(), "0 hits") {
+		t.Fatalf("cold run stderr lacks the cache summary:\n%s", coldErr.String())
+	}
+
+	var warm, warmErr bytes.Buffer
+	warmJSON := filepath.Join(dir, "warm.json")
+	args = append([]string{"-benchjson", warmJSON}, base...)
+	if code := run(args, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm run exited %d:\n%s", code, warmErr.String())
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatalf("warm figure output differs from cold:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+
+	raw, err := os.ReadFile(warmJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksExecuted != 0 {
+		t.Fatalf("warm run executed %d guest blocks, want 0", rep.BlocksExecuted)
+	}
+	if rep.ResultCacheHits == 0 || rep.ResultCacheMisses != 0 || rep.ResultCacheStores != 0 {
+		t.Fatalf("warm cache counters wrong: hits=%d misses=%d stores=%d",
+			rep.ResultCacheHits, rep.ResultCacheMisses, rep.ResultCacheStores)
+	}
+
+	var verify, verifyErr bytes.Buffer
+	args = append([]string{"-cacheverify"}, base...)
+	if code := run(args, &verify, &verifyErr); code != 0 {
+		t.Fatalf("-cacheverify run exited %d:\n%s", code, verifyErr.String())
+	}
+	if !bytes.Equal(cold.Bytes(), verify.Bytes()) {
+		t.Fatal("verify figure output differs from cold")
+	}
+}
+
+func TestCacheVerifyRequiresCache(t *testing.T) {
+	var errBuf bytes.Buffer
+	if code := run([]string{"-cacheverify", "-scale", "0.001", "-bench", "gzip"},
+		new(bytes.Buffer), &errBuf); code != 2 {
+		t.Fatalf("-cacheverify without -cache exited %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "-cache") {
+		t.Fatalf("error does not mention -cache:\n%s", errBuf.String())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/profile"
 	"repro/internal/region"
+	"repro/internal/resultcache"
 )
 
 // Target is a program under study: a builder that produces the guest
@@ -40,6 +41,13 @@ type Target struct {
 	// the shared image with its own tape; without it, extra runs of the
 	// same input fall back to a full Build.
 	NewTape func(input string) (interp.Tape, error)
+	// TapeID, when non-nil, returns a canonical identity string for the
+	// input's tape: equal identities must mean byte-identical tape
+	// streams. It is the input half of the result-cache key (the image
+	// half is hashed from the built image), so targets without a TapeID
+	// simply never cache — a tape whose identity cannot be declared is a
+	// tape whose reuse cannot be proven.
+	TapeID func(input string) string
 }
 
 // Compare evaluates an initial profile against an average profile and
@@ -123,6 +131,19 @@ type Options struct {
 	// translator config (guest traps) and the unit wrapper (delays,
 	// panics). A nil plan injects nothing.
 	Faults *faultinject.Plan
+	// Cache, when non-nil, memoizes expensive unit outputs on disk (see
+	// cache.go for the exact contract: lookup before a unit executes,
+	// store only on clean completion, never under an armed fault plan or
+	// for targets without a TapeID).
+	Cache *resultcache.Store
+	// CacheVerify makes every cache hit a differential self-check: the
+	// unit executes anyway and a divergence between computed and cached
+	// values is a hard unit error.
+	CacheVerify bool
+	// CacheContext carries caller-level parameters that determine
+	// results but are invisible in the image, tape and config (the study
+	// puts its scale here). It participates verbatim in every cache key.
+	CacheContext string
 	// MaxAttempts bounds how many times a failing unit body is run
 	// before the failure is permanent (0 or 1 = no retry). Attempts
 	// re-enter the unit from the top — the build cache does not memoize
@@ -333,6 +354,13 @@ type benchRun struct {
 	out    *BenchmarkResult
 	onDone func(*BenchmarkResult)
 	build  *buildCache
+
+	// refImgHash and trainImgHash are the content hashes of the built
+	// images, filled by the run units before they spawn (or inline-run)
+	// any unit that keys a cache entry off them; like out.AVEP they are
+	// then read lock-free under the spawn's happens-before edge.
+	refImgHash   string
+	trainImgHash string
 
 	mu            sync.Mutex
 	avep          *profile.Snapshot // set once by the reference unit
@@ -585,19 +613,40 @@ func (b *benchRun) refBody(worker int) error {
 	if err != nil {
 		return err
 	}
+	useCache := b.cacheUsable()
+	if useCache {
+		b.refImgHash = img.ContentHash()
+	}
 
 	avepCfg := b.dbtConfig("ref", 0, false)
 	if b.opts.IndependentRuns {
-		start = time.Now()
-		avep, stats, err := dbt.Run(img, tape, avepCfg)
-		if err != nil {
-			err = fmt.Errorf("core: AVEP run of %s: %w", b.t.Name, err)
-			b.record(obs.UnitRef, 0, worker, start, 0, err)
-			return err
+		var key resultcache.Key
+		var cached runOutput
+		hit := false
+		if useCache {
+			key = b.runCacheKey(b.refImgHash, "ref", avepCfg)
+			hit = b.cacheLookup(key, &cached, worker) && cached.Snapshot != nil
 		}
-		b.addRunStats(stats)
-		b.record(obs.UnitRef, 0, worker, start, stats.BlocksExecuted, nil)
-		b.recordAVEP(avep, avepCfg)
+		if hit && !b.opts.CacheVerify {
+			b.recordAVEP(cached.Snapshot, cached.Cycles)
+		} else {
+			start = time.Now()
+			avep, stats, err := dbt.Run(img, tape, avepCfg)
+			if err != nil {
+				err = fmt.Errorf("core: AVEP run of %s: %w", b.t.Name, err)
+				b.record(obs.UnitRef, 0, worker, start, 0, err)
+				return err
+			}
+			b.addRunStats(stats)
+			b.record(obs.UnitRef, 0, worker, start, stats.BlocksExecuted, nil)
+			if useCache {
+				computed := runOutput{Snapshot: avep, Stats: *stats, Cycles: cyclesOf(avepCfg)}
+				if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
+					return err
+				}
+			}
+			b.recordAVEP(avep, cyclesOf(avepCfg))
+		}
 		for i, threshold := range b.opts.Thresholds {
 			i, threshold := i, threshold
 			b.s.GoW(func(w int) error { return b.inipUnit(i, threshold, w) })
@@ -621,24 +670,52 @@ func (b *benchRun) refBody(worker int) error {
 			rungs = append(rungs, []int{i})
 			cfgs = append(cfgs, b.dbtConfig("ref", threshold, true))
 		}
-		start = time.Now()
-		snaps, stats, err := dbt.RunMulti(img, tape, cfgs)
-		if err != nil {
-			err = fmt.Errorf("core: reference runs of %s: %w", b.t.Name, err)
-			b.record(obs.UnitRef, 0, worker, start, 0, err)
-			return err
+		var key resultcache.Key
+		var cached refEntry
+		hit := false
+		if useCache {
+			key = b.refCacheKey(b.refImgHash, cfgs)
+			hit = b.cacheLookup(key, &cached, worker) && refEntryMatches(&cached, cfgs)
 		}
-		var blocks uint64
-		for _, st := range stats {
-			b.addRunStats(st)
-			blocks += st.BlocksExecuted
-		}
-		b.record(obs.UnitRef, 0, worker, start, blocks, nil)
-		b.recordAVEP(snaps[0], avepCfg)
-		for j := range rungs {
-			idxs := rungs[j]
-			snap, st, cfg := snaps[j+1], stats[j+1], cfgs[j+1]
-			b.s.GoW(func(w int) error { return b.compareUnit(idxs, snap, st, cfg, w) })
+		if hit && !b.opts.CacheVerify {
+			// Warm path: replay the whole reference bundle without
+			// executing a single guest block. addRunStats is deliberately
+			// not called — a fully cached benchmark reports zero blocks.
+			b.recordAVEP(cached.AVEP, cached.AVEPCycles)
+			for j := range rungs {
+				idxs, ro := rungs[j], cached.Runs[j]
+				b.s.GoW(func(w int) error { return b.compareUnit(idxs, ro, w) })
+			}
+		} else {
+			start = time.Now()
+			snaps, stats, err := dbt.RunMulti(img, tape, cfgs)
+			if err != nil {
+				err = fmt.Errorf("core: reference runs of %s: %w", b.t.Name, err)
+				b.record(obs.UnitRef, 0, worker, start, 0, err)
+				return err
+			}
+			var blocks uint64
+			for _, st := range stats {
+				b.addRunStats(st)
+				blocks += st.BlocksExecuted
+			}
+			b.record(obs.UnitRef, 0, worker, start, blocks, nil)
+			outs := make([]runOutput, len(rungs))
+			for j := range rungs {
+				cfg := cfgs[j+1]
+				outs[j] = runOutput{T: cfg.Threshold, Snapshot: snaps[j+1], Stats: *stats[j+1], Cycles: cyclesOf(cfg)}
+			}
+			if useCache {
+				computed := refEntry{AVEP: snaps[0], AVEPStats: *stats[0], AVEPCycles: cyclesOf(avepCfg), Runs: outs}
+				if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
+					return err
+				}
+			}
+			b.recordAVEP(snaps[0], cyclesOf(avepCfg))
+			for j := range rungs {
+				idxs, ro := rungs[j], outs[j]
+				b.s.GoW(func(w int) error { return b.compareUnit(idxs, ro, w) })
+			}
 		}
 	}
 	b.maybeCompareTrain(worker)
@@ -649,11 +726,9 @@ func (b *benchRun) refBody(worker int) error {
 // recordAVEP fills the once-per-benchmark memo the comparison stages
 // read. The write happens before any comparison unit is spawned, which
 // is what makes the lock-free reads in compareUnit safe.
-func (b *benchRun) recordAVEP(avep *profile.Snapshot, cfg dbt.Config) {
+func (b *benchRun) recordAVEP(avep *profile.Snapshot, cycles float64) {
 	b.out.AVEP = avep
-	if cfg.Perf != nil {
-		b.out.AVEPCycles = cfg.Perf.Cycles
-	}
+	b.out.AVEPCycles = cycles
 	b.mu.Lock()
 	b.avep = avep
 	b.mu.Unlock()
@@ -676,6 +751,17 @@ func (b *benchRun) inipBody(i int, threshold uint64, worker int) error {
 		return err
 	}
 	cfg := b.dbtConfig("ref", threshold, true)
+	useCache := b.cacheUsable()
+	var key resultcache.Key
+	var cached runOutput
+	hit := false
+	if useCache {
+		key = b.runCacheKey(b.refImgHash, "ref", cfg)
+		hit = b.cacheLookup(key, &cached, worker) && cached.Snapshot != nil
+		if hit && !b.opts.CacheVerify {
+			return b.compareBody([]int{i}, cached, worker)
+		}
+	}
 	start = time.Now()
 	snap, stats, err := dbt.Run(img, tape, cfg)
 	if err != nil {
@@ -685,18 +771,24 @@ func (b *benchRun) inipBody(i int, threshold uint64, worker int) error {
 	}
 	b.addRunStats(stats)
 	b.record(obs.UnitRef, threshold, worker, start, stats.BlocksExecuted, nil)
-	return b.compareBody([]int{i}, snap, stats, cfg, worker)
+	computed := runOutput{T: cfg.Threshold, Snapshot: snap, Stats: *stats, Cycles: cyclesOf(cfg)}
+	if useCache {
+		if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
+			return err
+		}
+	}
+	return b.compareBody([]int{i}, computed, worker)
 }
 
 // compareUnit is the scheduled comparison unit of shared-trace mode.
 // Its failure retires every ladder item it serves.
-func (b *benchRun) compareUnit(idxs []int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config, worker int) error {
-	_, err := b.execute(obs.UnitCompare, cfg.Threshold, worker, func() {
+func (b *benchRun) compareUnit(idxs []int, ro runOutput, worker int) error {
+	_, err := b.execute(obs.UnitCompare, ro.T, worker, func() {
 		for range idxs {
 			b.finishItem()
 		}
 	}, func() error {
-		return b.compareBody(idxs, snap, stats, cfg, worker)
+		return b.compareBody(idxs, ro, worker)
 	})
 	return err
 }
@@ -706,35 +798,62 @@ func (b *benchRun) compareUnit(idxs []int, snap *profile.Snapshot, stats *dbt.Ru
 // several when collapsed rungs share a follower (indexes are
 // rung-owned, no lock needed). The comparison runs once; collapsed
 // rungs receive identical results under their own paper-unit labels.
-func (b *benchRun) compareBody(idxs []int, snap *profile.Snapshot, stats *dbt.RunStats, cfg dbt.Config, worker int) error {
+//
+// The comparison itself is cacheable: its inputs are fully determined
+// by the two runs' keys, so a warm hit skips the normalization — unless
+// the caller wants the normalized rows (KeepNormalized), which the
+// cache does not carry.
+func (b *benchRun) compareBody(idxs []int, ro runOutput, worker int) error {
+	useCache := b.cacheUsable() && !b.opts.KeepNormalized
+	var key resultcache.Key
+	var cached cmpEntry
+	hit := false
+	if useCache {
+		key = b.cmpCacheKey(ro.T)
+		hit = b.cacheLookup(key, &cached, worker)
+		if hit && !b.opts.CacheVerify {
+			b.publishThresholdResults(idxs, ro, cached.Summary, nil)
+			return nil
+		}
+	}
 	start := time.Now()
-	summary, norm, err := Compare(snap, b.out.AVEP)
+	summary, norm, err := Compare(ro.Snapshot, b.out.AVEP)
 	if err != nil {
-		err = fmt.Errorf("core: INIP(%d) comparison of %s: %w", cfg.Threshold, b.t.Name, err)
-		b.record(obs.UnitCompare, cfg.Threshold, worker, start, 0, err)
+		err = fmt.Errorf("core: INIP(%d) comparison of %s: %w", ro.T, b.t.Name, err)
+		b.record(obs.UnitCompare, ro.T, worker, start, 0, err)
 		return err
 	}
-	b.record(obs.UnitCompare, cfg.Threshold, worker, start, 0, nil)
+	b.record(obs.UnitCompare, ro.T, worker, start, 0, nil)
+	if useCache {
+		if err := b.cacheSettle(key, hit, cmpEntry{Summary: summary}, cached, worker); err != nil {
+			return err
+		}
+	}
+	b.publishThresholdResults(idxs, ro, summary, norm)
+	return nil
+}
+
+// publishThresholdResults writes one ladder entry per served rung index
+// and retires the matching work items (indexes are rung-owned, so the
+// writes need no lock).
+func (b *benchRun) publishThresholdResults(idxs []int, ro runOutput, summary metrics.Summary, norm *navep.Result) {
 	for _, i := range idxs {
 		tr := ThresholdResult{
 			T:            b.opts.Thresholds[i],
 			Summary:      summary,
-			ProfilingOps: snap.ProfilingOps,
-			Stats:        *stats,
+			ProfilingOps: ro.Snapshot.ProfilingOps,
+			Cycles:       ro.Cycles,
+			Stats:        ro.Stats,
 		}
 		if b.opts.KeepNormalized {
 			tr.Normalized = norm
 		}
-		if cfg.Perf != nil {
-			tr.Cycles = cfg.Perf.Cycles
-		}
 		if b.opts.KeepSnapshots {
-			tr.Snapshot = snap
+			tr.Snapshot = ro.Snapshot
 		}
 		b.out.Results[i] = tr
 		b.finishItem()
 	}
-	return nil
 }
 
 // trainUnit runs INIP(train) and stores its snapshot for the training
@@ -753,15 +872,37 @@ func (b *benchRun) trainBody(worker int) error {
 	if err != nil {
 		return err
 	}
-	start = time.Now()
-	train, stats, err := dbt.Run(img, tape, b.dbtConfig("train", 0, false))
-	if err != nil {
-		err = fmt.Errorf("core: train run of %s: %w", b.t.Name, err)
-		b.record(obs.UnitTrain, 0, worker, start, 0, err)
-		return err
+	cfg := b.dbtConfig("train", 0, false)
+	useCache := b.cacheUsable()
+	var key resultcache.Key
+	var cached runOutput
+	hit := false
+	if useCache {
+		b.trainImgHash = img.ContentHash()
+		key = b.runCacheKey(b.trainImgHash, "train", cfg)
+		hit = b.cacheLookup(key, &cached, worker) && cached.Snapshot != nil
 	}
-	b.addRunStats(stats)
-	b.record(obs.UnitTrain, 0, worker, start, stats.BlocksExecuted, nil)
+	var train *profile.Snapshot
+	if hit && !b.opts.CacheVerify {
+		train = cached.Snapshot
+	} else {
+		start = time.Now()
+		var stats *dbt.RunStats
+		train, stats, err = dbt.Run(img, tape, cfg)
+		if err != nil {
+			err = fmt.Errorf("core: train run of %s: %w", b.t.Name, err)
+			b.record(obs.UnitTrain, 0, worker, start, 0, err)
+			return err
+		}
+		b.addRunStats(stats)
+		b.record(obs.UnitTrain, 0, worker, start, stats.BlocksExecuted, nil)
+		if useCache {
+			computed := runOutput{Snapshot: train, Stats: *stats, Cycles: cyclesOf(cfg)}
+			if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
+				return err
+			}
+		}
+	}
 	b.out.TrainOps = train.ProfilingOps
 	b.mu.Lock()
 	b.train = train
@@ -798,7 +939,26 @@ func (b *benchRun) maybeCompareTrain(worker int) {
 	b.finishItem()
 }
 
+// trainRegionThreshold is the reference threshold for offline region
+// formation over the training profile: the paper's proposed extension
+// for obtaining Sd.CP(train) and Sd.LP(train). It participates in the
+// training comparison's cache key.
+const trainRegionThreshold = 2000
+
 func (b *benchRun) compareTrain(train *profile.Snapshot, worker int) error {
+	useCache := b.cacheUsable()
+	var key resultcache.Key
+	var cached trainCmpEntry
+	hit := false
+	if useCache {
+		key = b.trainCmpCacheKey()
+		hit = b.cacheLookup(key, &cached, worker)
+		if hit && !b.opts.CacheVerify {
+			b.out.Train = cached.Train
+			b.out.TrainRegions = cached.TrainRegions
+			return nil
+		}
+	}
 	start := time.Now()
 	var err error
 	if b.out.Train, _, err = Compare(train, b.out.AVEP); err != nil {
@@ -806,9 +966,6 @@ func (b *benchRun) compareTrain(train *profile.Snapshot, worker int) error {
 		b.record(obs.UnitTrainCompare, 0, worker, start, 0, err)
 		return err
 	}
-	// Offline region formation over the training profile: the paper's
-	// proposed extension for obtaining Sd.CP(train) and Sd.LP(train).
-	const trainRegionThreshold = 2000
 	trainWithRegions := region.WithOfflineRegions(train, trainRegionThreshold, region.Config{})
 	if b.out.TrainRegions, _, err = Compare(trainWithRegions, b.out.AVEP); err != nil {
 		err = fmt.Errorf("core: train region comparison of %s: %w", b.t.Name, err)
@@ -816,6 +973,9 @@ func (b *benchRun) compareTrain(train *profile.Snapshot, worker int) error {
 		return err
 	}
 	b.record(obs.UnitTrainCompare, 0, worker, start, 0, nil)
+	if useCache {
+		return b.cacheSettle(key, hit, trainCmpEntry{Train: b.out.Train, TrainRegions: b.out.TrainRegions}, cached, worker)
+	}
 	return nil
 }
 
@@ -849,6 +1009,9 @@ func BuildFromAsm(name, src string) Target {
 		},
 		NewTape: func(input string) (interp.Tape, error) {
 			return interp.NewUniformTape(name + "/" + input), nil
+		},
+		TapeID: func(input string) string {
+			return "uniform:" + name + "/" + input
 		},
 	}
 }

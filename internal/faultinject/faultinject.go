@@ -186,10 +186,25 @@ func cutLast(s, sep string) (before, after string, found bool) {
 }
 
 // parseBuildSite parses "<bench>[/<input>]".
+// checkName rejects "*" embedded in a site component: a bare "*" is
+// the wildcard, and any other "*" would collide with the repeat-count
+// suffix when the plan's canonical String form is re-parsed (an
+// optional component rendered away can expose a trailing "*<digits>"
+// of the name to the repeat cutter).
+func checkName(what, name string) error {
+	if name != "*" && strings.Contains(name, "*") {
+		return fmt.Errorf("%s %q may not contain %q (a bare %q matches any)", what, name, "*", "*")
+	}
+	return nil
+}
+
 func parseBuildSite(f *Fault, site string) error {
 	f.Bench, f.Input, _ = strings.Cut(site, "/")
 	if f.Bench == "" {
 		return fmt.Errorf("missing benchmark name")
+	}
+	if err := checkName("benchmark name", f.Bench); err != nil {
+		return err
 	}
 	if f.Input != "" && f.Input != "ref" && f.Input != "train" {
 		return fmt.Errorf("unknown input %q (want ref or train)", f.Input)
@@ -231,6 +246,12 @@ func parseUnitSite(f *Fault, site string) error {
 	bench, unit, ok := strings.Cut(site, "/")
 	if !ok || bench == "" || unit == "" {
 		return fmt.Errorf("want <bench>/<unit>")
+	}
+	if err := checkName("benchmark name", bench); err != nil {
+		return err
+	}
+	if err := checkName("unit name", unit); err != nil {
+		return err
 	}
 	f.Bench, f.Unit = bench, unit
 	return nil

@@ -123,6 +123,10 @@ func TestParseErrors(t *testing.T) {
 		"panic:gzip",         // missing unit
 		"panic:gzip/ref@0",   // zero threshold
 		"seed:x",             // bad seed
+		"build:*0/",          // "*" embedded in a bench name (fuzz find:
+		//	its canonical String form "build:*0" re-parses the name's
+		//	tail as a repeat count)
+		"panic:gzip/u*nit@5", // "*" embedded in a unit name
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted", spec)

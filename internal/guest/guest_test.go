@@ -2,6 +2,8 @@ package guest
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -354,5 +356,33 @@ func TestAssembleMatchesBuilder(t *testing.T) {
 		if img1.Code[i] != img2.Code[i] {
 			t.Fatalf("word %d: %#x vs %#x", i, img1.Code[i], img2.Code[i])
 		}
+	}
+}
+
+func TestContentHashStableAndDiscriminating(t *testing.T) {
+	a := buildLoop(t)
+	b := buildLoop(t)
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("identical images hash differently")
+	}
+	// The hash must be the hash of the Save bytes — the format every
+	// other consumer of image identity already trusts.
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if a.ContentHash() != hex.EncodeToString(sum[:]) {
+		t.Fatal("ContentHash does not match sha256(Save bytes)")
+	}
+	c := buildLoop(t)
+	c.Code[0] ^= 1 << 14
+	if a.ContentHash() == c.ContentHash() {
+		t.Fatal("one-word code change did not change the hash")
+	}
+	d := buildLoop(t)
+	d.Symbols["extra"] = 0
+	if a.ContentHash() == d.ContentHash() {
+		t.Fatal("symbol change did not change the hash")
 	}
 }

@@ -11,7 +11,9 @@
 package guest
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -242,6 +244,17 @@ func (img *Image) Save(w io.Writer) error {
 		}
 	}
 	return writeString(w, img.Name)
+}
+
+// ContentHash returns the hex SHA-256 of the image's deterministic SG32
+// serialization. Save sorts symbols and jump tables, so two images with
+// the same semantic content hash identically regardless of construction
+// order; the result-cache key derivation depends on that.
+func (img *Image) ContentHash() string {
+	h := sha256.New()
+	// Save only fails on writer errors and a hash never errors.
+	_ = img.Save(h)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Load reads an image previously written by Save and validates it.

@@ -1,0 +1,33 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzISADecode checks the decoder's contract over arbitrary words:
+// Decode never panics, rejects only with *ErrBadEncoding, and every
+// word it accepts re-encodes to exactly the bits it came from.
+func FuzzISADecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(Encode(Inst{Op: OpHalt}))
+	f.Add(Encode(Inst{Op: OpLoadi, Rd: 3, Imm: -1}))
+	f.Add(Encode(Inst{Op: OpBne, Rs: 1, Rt: 2, Imm: -4}))
+	f.Add(Encode(Inst{Op: OpLoad, Rd: 15, Rs: 15, Rt: 15, Imm: 1<<13 - 1}))
+	f.Add(uint32(opCount) << 26) // first invalid opcode
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in, err := Decode(word)
+		if err != nil {
+			var bad *ErrBadEncoding
+			if !errors.As(err, &bad) {
+				t.Fatalf("Decode(%#08x): error %v is not *ErrBadEncoding", word, err)
+			}
+			return
+		}
+		_ = in.String() // must not panic on any decoded instruction
+		if got := Encode(in); got != word {
+			t.Fatalf("Encode(Decode(%#08x)) = %#08x", word, got)
+		}
+	})
+}

@@ -34,6 +34,9 @@ const (
 	UnitRun          = "run"           // a standalone translator run (cmd/dbtrun)
 	UnitRetry        = "retry"         // a failed unit attempt about to be retried
 	UnitCheckpoint   = "checkpoint"    // one checkpoint write (Err set when it failed)
+	UnitCacheHit     = "cache_hit"     // a result-cache lookup that served a validated entry
+	UnitCacheMiss    = "cache_miss"    // a result-cache lookup that found nothing usable
+	UnitCacheStore   = "cache_store"   // a result-cache entry write (Err set when it failed)
 )
 
 // validUnits gates ReadEvents: an unknown unit name means the producer
@@ -47,6 +50,9 @@ var validUnits = map[string]bool{
 	UnitRun:          true,
 	UnitRetry:        true,
 	UnitCheckpoint:   true,
+	UnitCacheHit:     true,
+	UnitCacheMiss:    true,
+	UnitCacheStore:   true,
 }
 
 // Event is one flight-recorder record: a completed span of pipeline

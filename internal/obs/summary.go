@@ -44,7 +44,7 @@ type Summary struct {
 }
 
 // phaseOrder fixes the rendering order of known units.
-var phaseOrder = []string{UnitBuild, UnitRef, UnitTrain, UnitCompare, UnitTrainCompare, UnitRun, UnitRetry, UnitCheckpoint}
+var phaseOrder = []string{UnitBuild, UnitRef, UnitTrain, UnitCompare, UnitTrainCompare, UnitRun, UnitRetry, UnitCheckpoint, UnitCacheHit, UnitCacheMiss, UnitCacheStore}
 
 // Summarize aggregates a trace. Events must have passed ReadEvents
 // validation.

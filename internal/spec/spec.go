@@ -215,5 +215,12 @@ func (b *Benchmark) Target(scale float64) core.Target {
 			}
 			return interp.NewUniformTape(b.Name + "/" + input), nil
 		},
+		// The tape is fully determined by its seed string, so the seed
+		// is its cache identity. Scale is not part of it: scale changes
+		// the image (parameters are baked into the data segment), which
+		// the image hash already covers.
+		TapeID: func(input string) string {
+			return "uniform:" + b.Name + "/" + input
+		},
 	}
 }

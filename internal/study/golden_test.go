@@ -1,0 +1,178 @@
+package study
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/resultcache"
+	"repro/internal/spec"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure corpus")
+
+// goldenConfig is the frozen study configuration behind the golden
+// corpus: two benchmarks (one INT, one FP) over the full paper ladder at
+// the smallest scale the suite uses. Changing it invalidates the golden
+// files — regenerate with `go test ./internal/study -run Golden -update`.
+func goldenConfig(t *testing.T) Config {
+	t.Helper()
+	var benches []*spec.Benchmark
+	for _, n := range []string{"gzip", "swim"} {
+		b := spec.ByName(n)
+		if b == nil {
+			t.Fatalf("unknown benchmark %q", n)
+		}
+		benches = append(benches, b)
+	}
+	return Config{
+		Scale:      0.001,
+		Thresholds: []float64{1, 100, 1e3, 1e4, 1e6},
+		Benchmarks: benches,
+	}
+}
+
+// renderCorpus produces the two golden artifacts: the markdown report
+// and the indented JSON of every figure.
+func renderCorpus(t *testing.T, res *Results) (report, figures []byte) {
+	t.Helper()
+	figJSON, err := json.MarshalIndent(res.Figures(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []byte(res.MarkdownReport()), append(figJSON, '\n')
+}
+
+// TestGoldenFigures byte-compares the full figure set of the frozen
+// configuration against the committed corpus, pinning every number the
+// figures report. Any change to the guest generators, the translator,
+// the profile comparison or the figure rendering shows up here as a
+// diff that must be regenerated deliberately.
+func TestGoldenFigures(t *testing.T) {
+	res, err := Run(goldenConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, figures := renderCorpus(t, res)
+	for _, g := range []struct {
+		name string
+		got  []byte
+	}{
+		{"golden_report.md", report},
+		{"golden_figures.json", figures},
+	} {
+		path := filepath.Join("testdata", g.name)
+		if *updateGolden {
+			if err := os.WriteFile(path, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to generate)", err)
+		}
+		if !reflect.DeepEqual(g.got, want) {
+			t.Errorf("%s drifted from the committed corpus (regenerate with -update if intended)", g.name)
+		}
+	}
+}
+
+// TestStudyCacheColdWarmDeterminism is the end-to-end determinism check
+// for the result cache: a cold study populates the store, a warm rerun
+// must reproduce the exact series and byte-identical figures without
+// executing a single guest block, and disabling the cache must change
+// nothing about a cold run's results.
+func TestStudyCacheColdWarmDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *resultcache.Store {
+		store, err := resultcache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+
+	cold := goldenConfig(t)
+	cold.Cache = open()
+	coldRes, err := Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRes.Perf.ResultCacheStores == 0 || coldRes.Perf.ResultCacheHits != 0 {
+		t.Fatalf("cold cache counters %+v, want stores and no hits", coldRes.Perf)
+	}
+	if coldRes.Perf.BlocksExecuted == 0 {
+		t.Fatal("cold study executed no guest blocks")
+	}
+
+	warm := goldenConfig(t)
+	warm.Cache = open()
+	warmRes, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.Perf.BlocksExecuted != 0 {
+		t.Fatalf("warm study executed %d guest blocks, want 0", warmRes.Perf.BlocksExecuted)
+	}
+	if warmRes.Perf.ResultCacheHits == 0 || warmRes.Perf.ResultCacheMisses != 0 {
+		t.Fatalf("warm cache counters %+v, want only hits", warmRes.Perf)
+	}
+	if !reflect.DeepEqual(coldRes.Series, warmRes.Series) {
+		t.Fatal("warm series differ from cold series")
+	}
+	coldReport, coldFigs := renderCorpus(t, coldRes)
+	warmReport, warmFigs := renderCorpus(t, warmRes)
+	if !reflect.DeepEqual(coldReport, warmReport) || !reflect.DeepEqual(coldFigs, warmFigs) {
+		t.Fatal("warm figures are not byte-identical to cold figures")
+	}
+
+	// A cache must never perturb results: an uncached run of the same
+	// configuration produces the same series.
+	plainRes, err := Run(goldenConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainRes.Series, coldRes.Series) {
+		t.Fatal("cached cold run differs from an uncached run")
+	}
+}
+
+// TestStudyCacheVerifyMode runs the differential verify pass over a
+// warmed store: everything re-executes, every hit is compared against
+// the recomputed value, and a clean store passes.
+func TestStudyCacheVerifyMode(t *testing.T) {
+	dir := t.TempDir()
+	store, err := resultcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig(t)
+	cfg.Cache = store
+	coldRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vcfg := goldenConfig(t)
+	if vcfg.Cache, err = resultcache.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	vcfg.CacheVerify = true
+	vres, err := Run(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.Perf.BlocksExecuted == 0 {
+		t.Fatal("verify mode must execute for real")
+	}
+	if vres.Perf.ResultCacheHits == 0 {
+		t.Fatal("verify run saw no cache hits over a warmed store")
+	}
+	if !reflect.DeepEqual(coldRes.Series, vres.Series) {
+		t.Fatal("verify-mode series differ from cold series")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/resultcache"
 	"repro/internal/spec"
 )
 
@@ -95,6 +96,18 @@ type Config struct {
 	// benchmarks without a stored series. The checkpoint must match
 	// this config's scale, ladder, run mode and benchmark set.
 	Resume bool
+	// Cache, when non-nil, memoizes expensive unit outputs in an
+	// on-disk content-addressed store keyed by image hash, tape
+	// identity, engine fingerprint, effective threshold and scale. A
+	// warm rerun of an unchanged study executes zero guest blocks and
+	// produces byte-identical figures. Fault-injected runs never touch
+	// the cache (their results are deliberately perturbed).
+	Cache *resultcache.Store
+	// CacheVerify turns every cache hit into a differential self-check:
+	// units execute anyway and a divergence between computed and cached
+	// values is a hard unit error (subject to Policy like any other
+	// failure). Requires Cache.
+	CacheVerify bool
 	// Stop, when non-nil, triggers a graceful drain when it is closed:
 	// in-flight guest runs are interrupted, completed series stay
 	// checkpointed, and Run returns the partial results with ErrStopped.
@@ -164,6 +177,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Resume && c.Checkpoint == "" {
 		return errors.New("study: resume requested without a checkpoint path")
+	}
+	if c.CacheVerify && c.Cache == nil {
+		return errors.New("study: cache verification requested without a cache")
 	}
 	return nil
 }
@@ -265,6 +281,15 @@ type Perf struct {
 	ResumedSeries         int    `json:"resumed_series,omitempty"`
 	CheckpointWrites      uint64 `json:"checkpoint_writes,omitempty"`
 	CheckpointWriteErrors uint64 `json:"checkpoint_write_errors,omitempty"`
+
+	// Result-cache accounting (all zero — and omitted — when no cache
+	// is configured, so the report shape is unchanged): validated hits,
+	// misses, entry writes, and corrupt-entry rejections plus failed
+	// writes.
+	ResultCacheHits   uint64 `json:"result_cache_hits,omitempty"`
+	ResultCacheMisses uint64 `json:"result_cache_misses,omitempty"`
+	ResultCacheStores uint64 `json:"result_cache_stores,omitempty"`
+	ResultCacheErrors uint64 `json:"result_cache_errors,omitempty"`
 }
 
 // Run executes the study: every benchmark is decomposed into run units
@@ -343,6 +368,13 @@ func Run(cfg Config) (*Results, error) {
 			Faults:          cfg.Faults,
 			MaxAttempts:     cfg.MaxAttempts,
 			RetryBackoff:    cfg.RetryBackoff,
+			Cache:           cfg.Cache,
+			CacheVerify:     cfg.CacheVerify,
+			// Scale is the one study parameter that shapes results
+			// without being visible in image, tape or engine config
+			// (it clamps the effective ladder), so it anchors the key
+			// context. %g is canonical for a given float64.
+			CacheContext: fmt.Sprintf("scale=%g", cfg.Scale),
 		}
 		core.ScheduleBenchmark(sched, b.Target(cfg.Scale), opts, func(out *core.BenchmarkResult) {
 			sortFailures(out.Failures)
@@ -410,6 +442,13 @@ func Run(cfg Config) (*Results, error) {
 		CheckpointWrites:      ckpt.writes(),
 		CheckpointWriteErrors: ckpt.writeErrors(),
 	}
+	// Counters accumulate over the store's lifetime; a store shared
+	// across Run calls reports the cumulative totals here.
+	cacheCounters := cfg.Cache.Counters()
+	res.Perf.ResultCacheHits = cacheCounters.Hits
+	res.Perf.ResultCacheMisses = cacheCounters.Misses
+	res.Perf.ResultCacheStores = cacheCounters.Stores
+	res.Perf.ResultCacheErrors = cacheCounters.Errors
 	if wall > 0 {
 		res.Perf.BlocksPerSec = float64(res.Perf.BlocksExecuted) / wall.Seconds()
 	}
