@@ -75,6 +75,14 @@ test -s "$tmpdir/state.jsonl"
 "$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -fig fig8 \
     -checkpoint "$tmpdir/state.jsonl" -resume > "$tmpdir/resumed.txt"
 cmp "$tmpdir/full.txt" "$tmpdir/resumed.txt"
+# Atomic-write temporaries (".<base>.tmp*") never outlive the cycle:
+# anything a killed run left behind is swept on the next startup.
+leftovers=$(find "$tmpdir" -name '.*.tmp*')
+if [ -n "$leftovers" ]; then
+    echo "orphaned atomic-write temporaries after stop/resume:" >&2
+    echo "$leftovers" >&2
+    exit 1
+fi
 
 echo "== cold/warm result-cache smoke (-race) =="
 # A cold full-suite run populates the cache; the warm rerun must serve
@@ -95,6 +103,137 @@ grep -q ' 0 misses, 0 stores, 0 errors$' "$tmpdir/warm.err"
 "$tmpdir/inipstudy" -scale 0.001 -fig all -cache "$tmpdir/cache" \
     -cacheverify > "$tmpdir/verify-figs.txt" 2> /dev/null
 cmp "$tmpdir/cold-figs.txt" "$tmpdir/verify-figs.txt"
+
+echo "== serve smoke (-race) =="
+# Boot the daemon, hit it cold and warm (byte-identical bodies, zero
+# guest blocks warm), overload it (429 + Retry-After), stop a study job
+# mid-run, drain with SIGTERM, and resume the job on a fresh daemon to
+# byte-identical figures.
+go build -race -o "$tmpdir/inipd" ./cmd/inipd
+servedir="$tmpdir/serve"
+mkdir -p "$servedir"
+dpid=""
+trap '[ -n "$dpid" ] && kill "$dpid" 2> /dev/null; rm -rf "$tmpdir"' EXIT
+
+wait_file() { # path tries
+    _i=0
+    while [ ! -s "$1" ]; do
+        _i=$((_i + 1))
+        if [ "$_i" -gt "$2" ]; then
+            echo "daemon never published $1" >&2
+            cat "$servedir"/d*.err >&2 || true
+            return 1
+        fi
+        sleep 0.05
+    done
+}
+poll_job() { # base id want tries
+    _i=0
+    while :; do
+        _state=$(curl -s "$1/v1/jobs/$2" | grep -o '"state":"[a-z]*"' | head -n 1)
+        [ "$_state" = "\"state\":\"$3\"" ] && return 0
+        _i=$((_i + 1))
+        if [ "$_i" -gt "$4" ]; then
+            echo "job $2 never reached $3 (last: $_state)" >&2
+            cat "$servedir"/d*.err >&2 || true
+            return 1
+        fi
+        sleep 0.05
+    done
+}
+
+"$tmpdir/inipd" -addr 127.0.0.1:0 -addrfile "$servedir/addr" \
+    -scale 0.001 -maxinflight 1 -maxqueue -1 \
+    -cache "$servedir/cache" -state "$servedir/state" \
+    -trace "$servedir/trace.jsonl" 2> "$servedir/d1.err" &
+dpid=$!
+wait_file "$servedir/addr" 200
+base="http://$(cat "$servedir/addr")"
+
+# Cold compare populates the shared cache; the identical repeat must be
+# served warm — zero guest blocks — with a byte-identical body (the
+# volatile data lives in X-Inipd-* headers, not the body).
+curl -sf -D "$servedir/cold.hdr" -o "$servedir/cold.json" \
+    -d '{"bench":"gzip","t":2000}' "$base/v1/compare"
+grep -qi '^x-inipd-cache: miss' "$servedir/cold.hdr"
+curl -sf -D "$servedir/warm.hdr" -o "$servedir/warm.json" \
+    -d '{"bench":"gzip","t":2000}' "$base/v1/compare"
+grep -qi '^x-inipd-cache: hit' "$servedir/warm.hdr"
+grep -qi '^x-inipd-guest-blocks: 0' "$servedir/warm.hdr"
+cmp "$servedir/cold.json" "$servedir/warm.json"
+
+# Overload: a slow compare holds the single execution slot
+# (-maxinflight 1, waiting disabled); a differently-keyed request
+# arriving meanwhile is answered 429 with Retry-After, not queued.
+curl -sf -o "$servedir/slow.json" \
+    -d '{"bench":"gzip","t":100,"scale":0.05}' "$base/v1/compare" &
+slowpid=$!
+saw429=0
+_i=0
+while [ "$_i" -lt 100 ]; do
+    _i=$((_i + 1))
+    code=$(curl -s -o /dev/null -D "$servedir/burst.hdr" \
+        -w '%{http_code}' -d '{"bench":"swim","t":100}' "$base/v1/compare")
+    if [ "$code" = "429" ]; then
+        saw429=1
+        grep -qi '^retry-after:' "$servedir/burst.hdr"
+        break
+    fi
+    sleep 0.02
+done
+if [ "$saw429" -ne 1 ]; then
+    echo "overload burst never answered 429" >&2
+    exit 1
+fi
+wait "$slowpid"
+
+# A study job stopped after one benchmark survives a SIGTERM drain and
+# a daemon restart: -resume re-enqueues it, and the finished job's
+# figures are byte-identical to an uninterrupted job's.
+curl -sf -o "$servedir/job.json" \
+    -d '{"scale":0.001,"benches":["gzip","swim"],"stop_after":1}' \
+    "$base/v1/study"
+grep -q '"id":"job-1"' "$servedir/job.json"
+poll_job "$base" job-1 stopped 600
+kill -TERM "$dpid"
+if ! wait "$dpid"; then
+    echo "daemon drain exited nonzero" >&2
+    cat "$servedir/d1.err" >&2
+    exit 1
+fi
+dpid=""
+grep -q "drained" "$servedir/d1.err"
+
+"$tmpdir/inipd" -addr 127.0.0.1:0 -addrfile "$servedir/addr2" \
+    -scale 0.001 -cache "$servedir/cache" -state "$servedir/state" \
+    -resume 2> "$servedir/d2.err" &
+dpid=$!
+wait_file "$servedir/addr2" 200
+base="http://$(cat "$servedir/addr2")"
+poll_job "$base" job-1 done 1200
+curl -sf -o "$servedir/resumed-figs.json" "$base/v1/jobs/job-1/figures"
+curl -sf -o /dev/null -d '{"scale":0.001,"benches":["gzip","swim"]}' \
+    "$base/v1/study"
+poll_job "$base" job-2 done 1200
+curl -sf -o "$servedir/fresh-figs.json" "$base/v1/jobs/job-2/figures"
+cmp "$servedir/resumed-figs.json" "$servedir/fresh-figs.json"
+curl -sf "$base/v1/metrics" | grep -q 'inipd_jobs{state="done"} 2'
+
+kill -TERM "$dpid"
+if ! wait "$dpid"; then
+    echo "resumed daemon drain exited nonzero" >&2
+    cat "$servedir/d2.err" >&2
+    exit 1
+fi
+dpid=""
+# The kill/resume cycle must leave no orphaned atomic-write
+# temporaries in the daemon's state or cache directories.
+leftovers=$(find "$servedir" -name '.*.tmp*')
+if [ -n "$leftovers" ]; then
+    echo "orphaned atomic-write temporaries after daemon resume:" >&2
+    echo "$leftovers" >&2
+    exit 1
+fi
 
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz='^FuzzISADecode$' -fuzztime=10s ./internal/isa/

@@ -6,6 +6,9 @@
 //	inipstudy [-scale 0.01] [-fig all|fig8,fig17] [-bench mcf,gzip]
 //	          [-chart] [-json] [-v]
 //	inipstudy -trace t.jsonl -benchjson b.json   # observability outputs
+//	inipstudy -benchjson b.json -benchbase prior.json  # speedup vs a prior record
+//	                                             # (or -benchbase 12.5 for raw seconds;
+//	                                             # a degenerate baseline exits 3)
 //	inipstudy -tracesum t.jsonl                  # summarize a recorded trace
 //	inipstudy -checkpoint state.jsonl            # persist finished benchmarks
 //	inipstudy -checkpoint state.jsonl -resume    # continue an interrupted run
@@ -30,6 +33,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,11 +58,44 @@ type benchReport struct {
 	study.Perf
 	// BaselineWallSeconds/Speedup are filled when -benchbase supplies
 	// the wall-clock of a reference binary over the same invocation.
+	// When a baseline was requested but is degenerate (zero or absent),
+	// SpeedupNote records why no ratio was computed instead of the
+	// record silently carrying a division by zero or no field at all.
 	BaselineWallSeconds float64 `json:"baseline_wall_seconds,omitempty"`
 	Speedup             float64 `json:"speedup_vs_baseline,omitempty"`
+	SpeedupNote         string  `json:"speedup_note,omitempty"`
 }
 
-func writeBenchJSON(path string, res *study.Results, nbench int, base float64) error {
+// parseBenchBase interprets the -benchbase value: a number is the
+// baseline wall-clock in seconds verbatim; anything else is the path of
+// a prior -benchjson record whose wall_seconds field supplies it. A
+// degenerate baseline (zero, negative, or a record without the field)
+// is not an error here — writeBenchJSON reports it as "n/a" — but an
+// unreadable or unparsable file is.
+func parseBenchBase(v string) (float64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		return secs, nil
+	}
+	data, err := os.ReadFile(v)
+	if err != nil {
+		return 0, err
+	}
+	var rec struct {
+		WallSeconds float64 `json:"wall_seconds"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return 0, fmt.Errorf("%s: %w", v, err)
+	}
+	return rec.WallSeconds, nil
+}
+
+// writeBenchJSON publishes the perf record. It reports na=true when a
+// baseline was requested but no meaningful speedup could be computed —
+// the record then carries a speedup_note instead of a ratio.
+func writeBenchJSON(path string, res *study.Results, nbench int, base float64, haveBase bool) (na bool, err error) {
 	rep := benchReport{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Scale:      res.Scale,
@@ -66,15 +103,23 @@ func writeBenchJSON(path string, res *study.Results, nbench int, base float64) e
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Perf:       res.Perf,
 	}
-	if base > 0 && rep.WallSeconds > 0 {
+	switch {
+	case !haveBase:
+	case base > 0 && rep.WallSeconds > 0:
 		rep.BaselineWallSeconds = base
 		rep.Speedup = base / rep.WallSeconds
+	default:
+		na = true
+		if base > 0 {
+			rep.BaselineWallSeconds = base
+		}
+		rep.SpeedupNote = "n/a: baseline or measured wall-clock is zero or absent"
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return na, err
 	}
-	return atomicio.WriteFile(path, append(data, '\n'), 0o644)
+	return na, atomicio.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // summarizeTrace renders a recorded flight-recorder file (-tracesum).
@@ -114,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		conv    = fs.Bool("conv", false, "run the threshold-selection (convergence) experiment instead of the figures")
 
 		benchJSON = fs.String("benchjson", "", "write suite wall-clock, blocks/sec, per-phase timing and engine counters to this file")
-		benchBase = fs.Float64("benchbase", 0, "baseline wall-clock seconds to compute speedup against in -benchjson")
+		benchBase = fs.String("benchbase", "", "baseline for the -benchjson speedup: wall-clock seconds, or the path of a prior -benchjson record (its wall_seconds is used)")
 		indep     = fs.Bool("indep", false, "run each INIP(T) independently instead of replaying the shared reference trace")
 		par       = fs.Int("par", 0, "worker-pool size for run units (default: GOMAXPROCS)")
 
@@ -135,6 +180,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Resolve the baseline up front so a bad -benchbase file fails
+	// before the study runs, not after minutes of work.
+	baseSecs, baseErr := parseBenchBase(*benchBase)
+	if baseErr != nil {
+		fmt.Fprintf(stderr, "inipstudy: -benchbase: %v\n", baseErr)
+		return 1
+	}
+
+	// Sweep atomic-write temporaries a killed previous invocation may
+	// have orphaned next to our output targets (the checkpoint's are
+	// swept when it is opened). Startup is the one moment no write of
+	// this process can be in flight.
+	for _, p := range []string{*benchJSON, *asMD, *traceFile} {
+		if p != "" {
+			atomicio.SweepTempsFor(p)
+		}
 	}
 
 	if *traceSum != "" {
@@ -313,8 +376,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if cfg.Cache != nil {
 		c := cfg.Cache.Counters()
-		fmt.Fprintf(stderr, "cache %s: %d hits, %d misses, %d stores, %d errors\n",
+		line := fmt.Sprintf("cache %s: %d hits, %d misses, %d stores, %d errors",
 			*cacheDir, c.Hits, c.Misses, c.Stores, c.Errors)
+		if c.HealFailures > 0 {
+			line += fmt.Sprintf(", %d heal failures (cache is read-only)", c.HealFailures)
+		}
+		fmt.Fprintln(stderr, line)
 	}
 
 	if stopped {
@@ -346,14 +413,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// okExit is what success paths below return: 0, or 3 when the run
+	// completed but the requested speedup-vs-baseline was degenerate.
+	okExit := 0
 	if *benchJSON != "" {
 		nbench := len(cfg.Benchmarks)
 		if nbench == 0 {
 			nbench = len(spec.Suite())
 		}
-		if err := writeBenchJSON(*benchJSON, res, nbench, *benchBase); err != nil {
+		na, err := writeBenchJSON(*benchJSON, res, nbench, baseSecs, *benchBase != "")
+		if err != nil {
 			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
 			return 1
+		}
+		if na {
+			fmt.Fprintf(stderr, "inipstudy: warning: speedup vs baseline is n/a (-benchbase %q gives %g s against %g s measured)\n",
+				*benchBase, baseSecs, res.Perf.WallSeconds)
+			okExit = 3
 		}
 		fmt.Fprintf(stderr, "wrote %s (wall %.1fs, %.2fM blocks/s)\n",
 			*benchJSON, res.Perf.WallSeconds, res.Perf.BlocksPerSec/1e6)
@@ -365,7 +441,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stderr, "wrote %s\n", *asMD)
-		return 0
+		return okExit
 	}
 
 	want := map[string]bool{}
@@ -393,7 +469,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "inipstudy: %v\n", err)
 			return 1
 		}
-		return 0
+		return okExit
 	}
 
 	for _, f := range out {
@@ -414,5 +490,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	}
-	return 0
+	return okExit
 }

@@ -317,3 +317,88 @@ func TestCacheVerifyRequiresCache(t *testing.T) {
 		t.Fatalf("error does not mention -cache:\n%s", errBuf.String())
 	}
 }
+
+// TestBenchBaseSpeedup covers the -benchbase ladder: a numeric baseline
+// and a prior -benchjson record both yield a positive speedup ratio; a
+// degenerate baseline (zero seconds, or a record without wall_seconds)
+// yields a speedup_note of "n/a" plus exit 3 instead of a silent or
+// divided-by-zero record; an unreadable baseline file fails before the
+// study runs.
+func TestBenchBaseSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-scale", "0.001", "-bench", "gzip", "-fig", "fig8"}
+
+	record := func(t *testing.T, path string) benchReport {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep benchReport
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rep); err != nil {
+			t.Fatalf("benchjson schema: %v\n%s", err, raw)
+		}
+		return rep
+	}
+
+	// Numeric seconds, the long-standing form.
+	numJSON := filepath.Join(dir, "num.json")
+	args := append([]string{"-benchjson", numJSON, "-benchbase", "1000"}, base...)
+	if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 0 {
+		t.Fatalf("numeric -benchbase exited %d", code)
+	}
+	if rep := record(t, numJSON); rep.BaselineWallSeconds != 1000 || rep.Speedup <= 0 || rep.SpeedupNote != "" {
+		t.Fatalf("numeric baseline record wrong: %+v", rep)
+	}
+
+	// A prior -benchjson record as the baseline.
+	fileJSON := filepath.Join(dir, "file.json")
+	args = append([]string{"-benchjson", fileJSON, "-benchbase", numJSON}, base...)
+	if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 0 {
+		t.Fatalf("file -benchbase exited %d", code)
+	}
+	if rep := record(t, fileJSON); rep.BaselineWallSeconds <= 0 || rep.Speedup <= 0 || rep.SpeedupNote == "n/a" {
+		t.Fatalf("file baseline record wrong: %+v", rep)
+	}
+
+	// Degenerate: a baseline record without a usable wall_seconds.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	naJSON := filepath.Join(dir, "na.json")
+	var errBuf bytes.Buffer
+	args = append([]string{"-benchjson", naJSON, "-benchbase", empty}, base...)
+	if code := run(args, new(bytes.Buffer), &errBuf); code != 3 {
+		t.Fatalf("absent baseline exited %d, want 3\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "n/a") {
+		t.Fatalf("no n/a warning on stderr:\n%s", errBuf.String())
+	}
+	rep := record(t, naJSON)
+	if rep.Speedup != 0 || rep.BaselineWallSeconds != 0 || !strings.Contains(rep.SpeedupNote, "n/a") {
+		t.Fatalf("degenerate baseline record wrong: %+v", rep)
+	}
+
+	// Degenerate: an explicit zero-seconds baseline.
+	zeroJSON := filepath.Join(dir, "zero.json")
+	args = append([]string{"-benchjson", zeroJSON, "-benchbase", "0"}, base...)
+	if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 3 {
+		t.Fatalf("zero baseline exited %d, want 3", code)
+	}
+	if rep := record(t, zeroJSON); !strings.Contains(rep.SpeedupNote, "n/a") {
+		t.Fatalf("zero baseline record wrong: %+v", rep)
+	}
+
+	// Unreadable baseline file: fail fast, before any benchmark runs.
+	var fastErr bytes.Buffer
+	args = append([]string{"-benchjson", filepath.Join(dir, "x.json"), "-benchbase", filepath.Join(dir, "missing.json")}, base...)
+	if code := run(args, new(bytes.Buffer), &fastErr); code != 1 {
+		t.Fatalf("missing baseline file exited %d, want 1", code)
+	}
+	if !strings.Contains(fastErr.String(), "-benchbase") {
+		t.Fatalf("error does not name the flag:\n%s", fastErr.String())
+	}
+}

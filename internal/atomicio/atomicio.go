@@ -7,9 +7,12 @@
 package atomicio
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // WriteFile atomically replaces path with data: write to a temp file in
@@ -86,4 +89,66 @@ func (f *File) Close() error {
 func (f *File) discard() {
 	f.File.Close()
 	os.Remove(f.Name())
+}
+
+// isTempName reports whether a directory entry looks like one of
+// Create's in-progress temporaries: ".<base>.tmp<random>". The pattern
+// is deliberately anchored on both the leading dot and the ".tmp"
+// infix so ordinary dotfiles are never swept.
+func isTempName(name string) bool {
+	return strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp")
+}
+
+// SweepTemps removes every stale atomic-write temporary in dir and
+// reports how many were removed. A process killed between Create and
+// Commit (e.g. a SIGINT landing mid-publication) orphans its temp file
+// next to the destination; startup is the one moment a sweep is safe,
+// because no write of this process can be in flight yet. Callers that
+// share the directory with other live writers should use SweepTempsFor
+// instead. A missing directory is not an error (nothing to sweep).
+func SweepTemps(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("atomicio: sweep %s: %w", dir, err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !isTempName(e.Name()) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// SweepTempsFor removes stale temporaries of one specific destination
+// path ("<dir>/.<base>.tmp*"), leaving every other file — including
+// other targets' in-flight temporaries — untouched. Use it when the
+// directory is shared with concurrent writers (e.g. per-job checkpoint
+// files in a common state directory).
+func SweepTempsFor(path string) (int, error) {
+	dir := filepath.Dir(path)
+	prefix := "." + filepath.Base(path) + ".tmp"
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("atomicio: sweep %s: %w", path, err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
 }

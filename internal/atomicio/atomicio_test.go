@@ -84,6 +84,67 @@ func TestCreateInMissingDirFails(t *testing.T) {
 	}
 }
 
+// orphan plants a stale temp file the way a kill between Create and
+// Commit would leave one.
+func orphan(t *testing.T, dir, base string) string {
+	t.Helper()
+	f, err := Create(filepath.Join(dir, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	name := f.Name()
+	// Simulated crash: the *os.File is abandoned without Close/Commit.
+	f.File.Close()
+	return filepath.Base(name)
+}
+
+// TestSweepTemps: stale temporaries are removed, published artifacts
+// and ordinary dotfiles are not, and a missing directory is a no-op.
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "keep.json"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".dotfile"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan(t, dir, "keep.json")
+	orphan(t, dir, "other.jsonl")
+	n, err := SweepTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("swept %d temps, want 2", n)
+	}
+	leftovers(t, dir, "keep.json", ".dotfile")
+	if n, err := SweepTemps(filepath.Join(dir, "gone")); n != 0 || err != nil {
+		t.Fatalf("missing dir sweep = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestSweepTempsFor only removes the named target's temporaries: other
+// targets in a shared directory may have writes in flight.
+func TestSweepTempsFor(t *testing.T) {
+	dir := t.TempDir()
+	orphan(t, dir, "job-a.ckpt")
+	other := orphan(t, dir, "job-b.ckpt")
+	n, err := SweepTempsFor(filepath.Join(dir, "job-a.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("swept %d temps, want 1", n)
+	}
+	leftovers(t, dir, other)
+	if n, _ := SweepTempsFor(filepath.Join(dir, "gone", "x")); n != 0 {
+		t.Fatalf("missing dir sweep removed %d", n)
+	}
+}
+
 // leftovers fails the test if the directory holds anything besides the
 // published artifacts.
 func leftovers(t *testing.T, dir string, want ...string) {

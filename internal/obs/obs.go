@@ -103,14 +103,21 @@ const defaultBuffer = 4096
 
 // Recorder is the concurrent flight-recorder front end. All methods are
 // safe for concurrent use and safe on a nil receiver (a nil *Recorder
-// is "tracing off"), so call sites need no guards.
+// is "tracing off"), so call sites need no guards. The recorder is safe
+// for a server lifetime: Emit racing with (or arriving after) Close is
+// a counted no-op, never a send on a closed channel.
 type Recorder struct {
 	ch      chan Event
 	flushed chan struct{}
 	start   time.Time
 	dropped atomic.Uint64
-	once    sync.Once
-	err     error // encoder/flush error; read only after flushed closes
+	// mu gates the channel against Close: Emit holds it shared for the
+	// duration of the send attempt, Close holds it exclusively while
+	// marking the recorder closed. Emitters therefore never observe a
+	// closed channel, and a post-Close Emit lands in the closed branch.
+	mu     sync.RWMutex
+	closed bool
+	err    error // encoder/flush error; read only after flushed closes
 }
 
 // NewRecorder starts a recorder writing JSONL to w. The caller must
@@ -156,10 +163,17 @@ func (r *Recorder) Start() time.Time {
 	return r.start
 }
 
-// Emit queues one event without blocking. If the queue is full the
-// event is dropped and counted. Emit must not be called after Close.
+// Emit queues one event without blocking. If the queue is full — or
+// the recorder is already closed — the event is dropped and counted.
+// Emit is safe to race with Close: late events are counted no-ops.
 func (r *Recorder) Emit(ev Event) {
 	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		r.dropped.Add(1)
 		return
 	}
 	select {
@@ -167,6 +181,7 @@ func (r *Recorder) Emit(ev Event) {
 	default:
 		r.dropped.Add(1)
 	}
+	r.mu.RUnlock()
 }
 
 // Record emits a completed span, translating the absolute start time to
@@ -194,8 +209,10 @@ func (r *Recorder) Record(bench, unit string, t uint64, worker int, start time.T
 	r.Emit(ev)
 }
 
-// Dropped returns the overflow count so far. It is exact once every
-// emitter has finished (e.g. after the study's scheduler Wait).
+// Dropped returns the drop count so far — queue overflows plus events
+// emitted after Close. The counter is updated atomically at the moment
+// each event is dropped, so the value is exact at any time, not just
+// after Close.
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
@@ -203,14 +220,20 @@ func (r *Recorder) Dropped() uint64 {
 	return r.dropped.Load()
 }
 
-// Close drains the queue, flushes the sink and returns the overflow
-// count together with the first encoding error, if any. Close is
-// idempotent.
+// Close drains the queue, flushes the sink and returns the drop count
+// together with the first encoding error, if any. Close is idempotent,
+// and emitters may still be running: their events after this point are
+// counted as dropped instead of written.
 func (r *Recorder) Close() (dropped uint64, err error) {
 	if r == nil {
 		return 0, nil
 	}
-	r.once.Do(func() { close(r.ch) })
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.ch)
+	}
+	r.mu.Unlock()
 	<-r.flushed
 	return r.dropped.Load(), r.err
 }

@@ -124,6 +124,77 @@ func TestRecorderOverflowDropsNotBlocks(t *testing.T) {
 	}
 }
 
+// TestEmitAfterCloseIsCountedNoop: a server-lifetime recorder outlives
+// individual runs, so late emitters must neither panic on the closed
+// channel nor vanish silently — every post-Close event is a counted
+// drop, visible through Dropped at any time.
+func TestEmitAfterCloseIsCountedNoop(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.Record("gzip", UnitRef, 0, 0, r.Start(), time.Millisecond, 1, nil)
+	if _, err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r.Record("gzip", UnitCompare, 100, 0, r.Start(), time.Millisecond, 0, nil)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d after 3 post-Close emits, want 3", got)
+	}
+	// The second Close must report the same count and keep the sink
+	// intact: exactly the pre-Close event is on disk.
+	if d, err := r.Close(); d != 3 || err != nil {
+		t.Fatalf("second Close = (%d, %v), want (3, nil)", d, err)
+	}
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("sink holds %d events, want 1", len(evs))
+	}
+}
+
+// TestEmitCloseRace hammers Emit from many goroutines while Close runs
+// concurrently — the regression test for the send-on-closed-channel
+// race a server-lifetime recorder is exposed to. Run under -race, it
+// must stay silent; the accounting invariant written + dropped ==
+// emitted must hold regardless of where Close lands.
+func TestEmitCloseRace(t *testing.T) {
+	const workers, per = 8, 200
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record("bench", UnitCompare, uint64(i+1), w, r.Start(), time.Microsecond, 0, nil)
+			}
+		}()
+	}
+	// Close lands somewhere in the middle of the emit storm.
+	dropped, err := r.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	// Late emitters kept counting after Close returned its snapshot.
+	final := r.Dropped()
+	if final < dropped {
+		t.Fatalf("Dropped went backwards: %d then %d", dropped, final)
+	}
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if uint64(len(evs))+final != workers*per {
+		t.Fatalf("%d written + %d dropped != %d emitted", len(evs), final, workers*per)
+	}
+}
+
 // TestNilRecorderIsNoop: a nil recorder (tracing off) must accept every
 // call.
 func TestNilRecorderIsNoop(t *testing.T) {

@@ -104,19 +104,35 @@ type Counters struct {
 	// fingerprint mismatch, stale schema) plus failed writes. Every
 	// read-side error is also a miss.
 	Errors uint64 `json:"errors"`
+	// HealFailures counts store/heal writes that could not land because
+	// the cache directory is unwritable (read-only filesystem, removed
+	// directory, permissions). The first failure is surfaced as an
+	// error and demotes the store to read-only mode; every later write
+	// is a counted no-op here rather than a fresh error per lookup.
+	HealFailures uint64 `json:"heal_failures"`
 }
 
 // Store is an on-disk result cache rooted at one directory.
 type Store struct {
 	dir string
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	stores atomic.Uint64
-	errs   atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	stores    atomic.Uint64
+	errs      atomic.Uint64
+	healFails atomic.Uint64
+	// readOnly latches after the first failed entry write: an
+	// unwritable cache directory (read-only mount, swept-away dir)
+	// does not heal itself, so retrying — and erroring — on every
+	// subsequent lookup's rewrite would drown the run in noise. Reads
+	// keep working; writes become counted no-ops.
+	readOnly atomic.Bool
 }
 
-// Open returns a store rooted at dir, creating the directory if needed.
+// Open returns a store rooted at dir, creating the directory if
+// needed. Stale atomic-write temporaries from a previous process
+// killed mid-store are swept here — the one moment no write of this
+// process can be in flight.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("resultcache: empty directory")
@@ -124,7 +140,15 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultcache: %w", err)
 	}
+	// Best-effort: a read-only pre-populated store is still usable.
+	atomicio.SweepTemps(dir)
 	return &Store{dir: dir}, nil
+}
+
+// ReadOnly reports whether the store has demoted itself to read-only
+// mode after a failed write. Safe on nil (false).
+func (s *Store) ReadOnly() bool {
+	return s != nil && s.readOnly.Load()
 }
 
 // Dir returns the store's root directory ("" on a nil store).
@@ -142,10 +166,11 @@ func (s *Store) Counters() Counters {
 		return Counters{}
 	}
 	return Counters{
-		Hits:   s.hits.Load(),
-		Misses: s.misses.Load(),
-		Stores: s.stores.Load(),
-		Errors: s.errs.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Stores:       s.stores.Load(),
+		Errors:       s.errs.Load(),
+		HealFailures: s.healFails.Load(),
 	}
 }
 
@@ -227,7 +252,11 @@ func decodeEntry(data []byte, k Key, v any) error {
 // Put stores v under k, atomically replacing any previous entry. A
 // failed write is counted and reported but must not fail the unit that
 // produced v — the result is correct either way, only its reuse is
-// lost. Safe on a nil store (no-op).
+// lost. The first write that fails to land on disk demotes the store
+// to read-only mode: it is surfaced (and counted in Errors) exactly
+// once, and every later write — including the per-lookup heals of
+// corrupt entries — becomes a silent no-op counted in HealFailures.
+// Safe on a nil store (no-op).
 func (s *Store) Put(k Key, v any) error {
 	if s == nil {
 		return nil
@@ -235,6 +264,10 @@ func (s *Store) Put(k Key, v any) error {
 	if !k.valid() {
 		s.errs.Add(1)
 		return fmt.Errorf("resultcache: refusing to store under incomplete key %+v", k)
+	}
+	if s.readOnly.Load() {
+		s.healFails.Add(1)
+		return nil
 	}
 	value, err := json.Marshal(v)
 	if err != nil {
@@ -253,8 +286,14 @@ func (s *Store) Put(k Key, v any) error {
 		return fmt.Errorf("resultcache: encode %s: %w", k.Hash(), err)
 	}
 	if err := atomicio.WriteFile(s.path(k), append(data, '\n'), 0o644); err != nil {
-		s.errs.Add(1)
-		return fmt.Errorf("resultcache: store %s: %w", k.Hash(), err)
+		s.healFails.Add(1)
+		if s.readOnly.CompareAndSwap(false, true) {
+			// First failure wins the race to report; latecomers that
+			// slipped past the gate above are demoted like the rest.
+			s.errs.Add(1)
+			return fmt.Errorf("resultcache: store %s (cache now read-only): %w", k.Hash(), err)
+		}
+		return nil
 	}
 	s.stores.Add(1)
 	return nil

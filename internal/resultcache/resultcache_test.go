@@ -54,6 +54,106 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestUnwritableDirDemotesToReadOnly: when the cache directory stops
+// accepting writes, exactly the first failed store surfaces an error;
+// every later store — the per-lookup heals of corrupt entries included
+// — is a silent counted no-op, and reads keep working. The regression
+// scenario is a read-only -cache directory, simulated here by sweeping
+// the directory away (root ignores permission bits, so a chmod-based
+// simulation would silently pass under CI-as-root).
+func TestUnwritableDirDemotesToReadOnly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(), payload{Name: "x"}); err == nil {
+		t.Fatal("first write to an unwritable dir returned nil")
+	}
+	if !s.ReadOnly() {
+		t.Fatal("store did not demote itself to read-only")
+	}
+	// Later writes (heal attempts) must be demoted, not surfaced.
+	k2 := testKey()
+	k2.T = 7
+	for i := 0; i < 3; i++ {
+		if err := s.Put(k2, payload{Name: "heal"}); err != nil {
+			t.Fatalf("demoted write %d surfaced: %v", i, err)
+		}
+	}
+	var v payload
+	if s.Lookup(testKey(), &v) {
+		t.Fatal("lookup hit in a swept-away store")
+	}
+	c := s.Counters()
+	if c.HealFailures != 4 {
+		t.Fatalf("HealFailures = %d, want 4", c.HealFailures)
+	}
+	if c.Errors != 1 {
+		t.Fatalf("Errors = %d, want exactly the surfaced first failure", c.Errors)
+	}
+	if c.Stores != 0 {
+		t.Fatalf("Stores = %d on an unwritable dir", c.Stores)
+	}
+}
+
+// TestReadOnlyDirPermissions is the literal read-only-directory flavour
+// of the demotion test. Permission bits do not bind root, so it skips
+// where the sweep-based test above still covers the code path.
+func TestReadOnlyDirPermissions(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-populated entry stays readable after the dir goes read-only.
+	k := testKey()
+	if err := s.Put(k, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	var got payload
+	if !s.Lookup(k, &got) || got.Name != "x" {
+		t.Fatal("read-only dir broke lookups")
+	}
+	k2 := testKey()
+	k2.T = 9
+	if err := s.Put(k2, payload{Name: "y"}); err == nil {
+		t.Fatal("first write to a read-only dir returned nil")
+	}
+	if err := s.Put(k2, payload{Name: "y"}); err != nil {
+		t.Fatalf("second write not demoted: %v", err)
+	}
+	if c := s.Counters(); c.HealFailures != 2 || !s.ReadOnly() {
+		t.Fatalf("counters %+v, ReadOnly=%v; want 2 heal failures on a read-only store", c, s.ReadOnly())
+	}
+}
+
+// TestOpenSweepsStaleTemps: a temp file orphaned by a crash mid-store
+// is removed when the store is reopened.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".abc123.json.tmp456")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived Open: %v", err)
+	}
+}
+
 func TestKeyComponentsSeparateEntries(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {

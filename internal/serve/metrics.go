@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/study"
+)
+
+// perfTotals accumulates study.Perf aggregates over every job this
+// process finished; /v1/metrics exposes them as monotonic counters.
+type perfTotals struct {
+	mu             sync.Mutex
+	jobs           uint64
+	wallSeconds    float64
+	blocksExecuted uint64
+	unitFailures   uint64
+	unitRetries    uint64
+	resumedSeries  uint64
+}
+
+// recordJobPerf folds one finished job's Perf into the totals.
+func (s *Server) recordJobPerf(p study.Perf) {
+	t := &s.perf
+	t.mu.Lock()
+	t.jobs++
+	t.wallSeconds += p.WallSeconds
+	t.blocksExecuted += p.BlocksExecuted
+	t.unitFailures += uint64(p.UnitFailures)
+	t.unitRetries += uint64(p.UnitRetries)
+	t.resumedSeries += uint64(p.ResumedSeries)
+	t.mu.Unlock()
+}
+
+// handleMetrics renders the Prometheus text exposition format (0.0.4):
+// the server's own admission/coalescing counters, the aggregated
+// study.Perf of finished jobs, result-cache and flight-recorder
+// accounting, and job-state gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	ready := 1
+	if s.draining.Load() || s.sched.Stopped() {
+		ready = 0
+	}
+	gauge("inipd_ready", "1 while the daemon admits new work", ready)
+	gauge("inipd_uptime_seconds", "seconds since the daemon started", fmt.Sprintf("%.3f", time.Since(s.start).Seconds()))
+	gauge("inipd_scheduler_workers", "size of the shared comparison worker pool", s.sched.Workers())
+
+	counter("inipd_compare_requests_total", "POST /v1/compare requests received", s.m.compareRequests.Load())
+	counter("inipd_compare_ok_total", "compare requests answered 200", s.m.compareOK.Load())
+	counter("inipd_compare_overload_total", "compare requests rejected 429 at admission", s.m.compareOverload.Load())
+	counter("inipd_compare_deadline_total", "compare requests expired 504", s.m.compareDeadline.Load())
+	counter("inipd_compare_coalesced_total", "compare requests served from another caller's in-flight work", s.m.compareCoalesced.Load())
+	counter("inipd_compare_warm_total", "compare responses served with zero guest blocks executed", s.m.compareWarm.Load())
+	counter("inipd_compare_errors_total", "compare requests answered 5xx (excluding deadlines)", s.m.compareErrors.Load())
+	counter("inipd_compare_guest_blocks_total", "guest blocks executed by compare requests", s.m.guestBlocks.Load())
+	counter("inipd_study_requests_total", "POST /v1/study requests received", s.m.studyRequests.Load())
+
+	s.perf.mu.Lock()
+	jobs, wall, blocks := s.perf.jobs, s.perf.wallSeconds, s.perf.blocksExecuted
+	fails, retries, resumed := s.perf.unitFailures, s.perf.unitRetries, s.perf.resumedSeries
+	s.perf.mu.Unlock()
+	counter("inipd_study_jobs_finished_total", "study jobs completed by this process", jobs)
+	counter("inipd_study_wall_seconds_total", "summed wall-clock of finished study jobs", fmt.Sprintf("%.3f", wall))
+	counter("inipd_study_guest_blocks_total", "guest blocks executed by finished study jobs", blocks)
+	counter("inipd_study_unit_failures_total", "absorbed unit failures across finished jobs", fails)
+	counter("inipd_study_unit_retries_total", "unit retry attempts across finished jobs", retries)
+	counter("inipd_study_resumed_series_total", "benchmark series restored from checkpoints instead of re-executed", resumed)
+
+	states := map[JobState]int{}
+	for _, rec := range s.jobs.list() {
+		states[rec.State]++
+	}
+	fmt.Fprintf(&b, "# HELP inipd_jobs current jobs by state\n# TYPE inipd_jobs gauge\n")
+	keys := make([]string, 0, len(states))
+	for st := range states {
+		keys = append(keys, string(st))
+	}
+	sort.Strings(keys)
+	for _, st := range keys {
+		fmt.Fprintf(&b, "inipd_jobs{state=%q} %d\n", st, states[JobState(st)])
+	}
+
+	if s.cfg.Cache != nil {
+		c := s.cfg.Cache.Counters()
+		counter("inipd_result_cache_hits_total", "validated result-cache hits", c.Hits)
+		counter("inipd_result_cache_misses_total", "result-cache misses", c.Misses)
+		counter("inipd_result_cache_stores_total", "result-cache entry writes", c.Stores)
+		counter("inipd_result_cache_errors_total", "rejected entries and surfaced write failures", c.Errors)
+		counter("inipd_result_cache_heal_failures_total", "writes demoted after the cache latched read-only", c.HealFailures)
+		ro := 0
+		if s.cfg.Cache.ReadOnly() {
+			ro = 1
+		}
+		gauge("inipd_result_cache_read_only", "1 after the cache demoted itself to read-only", ro)
+	}
+	if s.cfg.Trace != nil {
+		counter("inipd_trace_dropped_events_total", "flight-recorder events dropped (overflow or post-close)", s.cfg.Trace.Dropped())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

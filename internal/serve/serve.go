@@ -1,0 +1,490 @@
+// Package serve exposes the study pipeline as a long-running HTTP/JSON
+// service ("study as a service"). One daemon process owns the expensive
+// shared state — a bounded core.Scheduler for comparison units, the
+// content-addressed result cache, a server-lifetime flight recorder —
+// and requests from many clients are admitted into it instead of each
+// invocation paying cold-start and fighting for the machine.
+//
+// Endpoints:
+//
+//	POST /v1/compare       one benchmark × threshold, synchronous
+//	POST /v1/study         full-ladder study as an async job (202 + id)
+//	GET  /v1/jobs          job listing
+//	GET  /v1/jobs/{id}     job status (+ result when done)
+//	GET  /v1/jobs/{id}/figures  figure JSON, byte-stable across resumes
+//	GET  /v1/jobs/{id}/events   SSE progress stream
+//	GET  /v1/metrics       Prometheus text exposition
+//	GET  /healthz          process liveness
+//	GET  /readyz           admission readiness (503 while draining)
+//
+// Admission control is deliberate and layered: at most MaxInflight
+// compare requests execute concurrently, at most MaxQueue more may wait
+// for a slot, and anything beyond that is rejected immediately with 429
+// and a Retry-After hint rather than queued unboundedly. Every admitted
+// request carries a deadline (its own timeout_ms or the server default)
+// and times out with 504. Identical in-flight compares — same
+// benchmark, threshold and scale, hence the same image, tape and engine
+// fingerprint — are coalesced into one scheduler unit whose result
+// every caller shares; with a result cache configured, a repeated
+// compare is served warm, executing zero guest blocks.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/resultcache"
+	"repro/internal/spec"
+	"repro/internal/study"
+)
+
+// Config configures a Server. The zero value of every field has a
+// usable default.
+type Config struct {
+	// Scale is the default paper-unit scale for requests that do not
+	// carry their own (default 1.0).
+	Scale float64
+	// Workers bounds the shared comparison scheduler and each study
+	// job's pool (default GOMAXPROCS).
+	Workers int
+	// MaxInflight bounds concurrently-executing compare requests
+	// (default 2×Workers).
+	MaxInflight int
+	// MaxQueue bounds compare requests waiting for an inflight slot;
+	// arrivals beyond it get 429 (default 8; negative disables waiting
+	// entirely, so anything beyond MaxInflight is rejected on arrival).
+	MaxQueue int
+	// MaxJobs bounds concurrently-running study jobs (default 1): a
+	// full-ladder study saturates the machine on its own, so extra jobs
+	// queue rather than thrash.
+	MaxJobs int
+	// DefaultTimeout is the per-request deadline when the request does
+	// not set timeout_ms (default 2 minutes).
+	DefaultTimeout time.Duration
+	// StateDir, when non-empty, persists job records, per-job
+	// checkpoints and finished results, making jobs resumable across
+	// daemon restarts. Empty means jobs live and die with the process.
+	StateDir string
+	// Resume re-enqueues the non-terminal jobs found in StateDir at
+	// startup; each resumed study restores its checkpoint and runs only
+	// the missing benchmarks.
+	Resume bool
+	// Cache, when non-nil, memoizes unit results; warm compares execute
+	// zero guest blocks.
+	Cache *resultcache.Store
+	// Trace, when non-nil, receives one flight-recorder event per
+	// pipeline span across the server's whole lifetime — every compare
+	// and every job shares it, which is exactly the Emit-after-Close
+	// exposure the recorder's close gate exists for.
+	Trace *obs.Recorder
+}
+
+func (c *Config) defaults() {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 0 // scheduler resolves to GOMAXPROCS
+	}
+	if c.MaxInflight <= 0 {
+		w := c.Workers
+		if w <= 0 {
+			w = 1
+		}
+		c.MaxInflight = 2 * w
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 8
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+}
+
+// Server is the study-as-a-service daemon state.
+type Server struct {
+	cfg   Config
+	sched *core.Scheduler
+	mux   *http.ServeMux
+	start time.Time
+
+	// Admission: inflight tokens plus a bounded wait counter.
+	inflight chan struct{}
+	queued   atomic.Int64
+
+	// Coalescing: one flight per identical in-progress compare.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// exec performs one comparison; tests swap it to count and gate
+	// executions without running the pipeline.
+	exec func(key string, bench *spec.Benchmark, paperT, scale float64) *compareOut
+
+	draining atomic.Bool
+	jobs     *jobTable
+	m        serverMetrics
+	perf     perfTotals
+}
+
+// serverMetrics is the server's own accounting, exposed at /v1/metrics.
+type serverMetrics struct {
+	compareRequests  atomic.Uint64
+	compareOK        atomic.Uint64
+	compareOverload  atomic.Uint64 // 429s
+	compareDeadline  atomic.Uint64 // 504s
+	compareCoalesced atomic.Uint64 // served from another caller's flight
+	compareWarm      atomic.Uint64 // zero guest blocks executed
+	compareErrors    atomic.Uint64 // 5xx other than deadline
+	studyRequests    atomic.Uint64
+	guestBlocks      atomic.Uint64 // compare-side block executions
+}
+
+// New builds a Server: opens (and, with Resume, re-enqueues) the job
+// table and starts the shared scheduler. The caller serves
+// s.Handler() and must call Drain before exit.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		sched: core.NewSchedulerPolicy(cfg.Workers, core.Degrade),
+		start: time.Now(),
+
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		flights:  make(map[string]*flight),
+	}
+	s.exec = s.runCompare
+	jobs, err := openJobTable(cfg.StateDir, cfg.MaxJobs)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jobs
+	s.mux = http.NewServeMux()
+	s.routes()
+	if cfg.Resume {
+		s.resumeJobs()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	s.mux.HandleFunc("POST /v1/study", s.handleStudy)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/figures", s.handleJobFigures)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() || s.sched.Stopped() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}
+
+// Drain begins a graceful shutdown: readiness drops, new work is
+// rejected, running study jobs are stopped through their cooperative
+// Stop channels (flushing their checkpoints), and Drain blocks until
+// every job goroutine has retired or the deadline passes. In-flight
+// compare requests are left to finish; the HTTP server's own Shutdown
+// waits for those handlers.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.draining.Store(true)
+	s.jobs.stopAll()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("serve: drain timed out after %v", timeout)
+	}
+}
+
+// errorJSON writes a {"error": ...} body with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// admit applies the admission layer: an immediate inflight slot if one
+// is free, a bounded wait otherwise, 429 when the wait line is full,
+// 504 when the request's deadline expires first. On success the
+// returned release must be called exactly once.
+func (s *Server) admit(r *http.Request) (release func(), status int) {
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, 0
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, http.StatusTooManyRequests
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, 0
+	case <-r.Context().Done():
+		return nil, http.StatusGatewayTimeout
+	}
+}
+
+// compareRequest is the POST /v1/compare body.
+type compareRequest struct {
+	// Bench is the benchmark name (spec suite).
+	Bench string `json:"bench"`
+	// T is the retranslation threshold in paper units.
+	T float64 `json:"t"`
+	// Scale overrides the server's default paper-unit scale.
+	Scale float64 `json:"scale,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// summaryWire is metrics.Summary with JSON names pinned: the struct in
+// internal/metrics is a computation type without tags, and the wire
+// shape must not drift when it grows fields.
+type summaryWire struct {
+	SdBP       float64 `json:"sd_bp"`
+	BPMismatch float64 `json:"bp_mismatch"`
+	HasRegions bool    `json:"has_regions"`
+	SdCP       float64 `json:"sd_cp,omitempty"`
+	SdLP       float64 `json:"sd_lp,omitempty"`
+	LPMismatch float64 `json:"lp_mismatch,omitempty"`
+	Blocks     int     `json:"blocks"`
+	Traces     int     `json:"traces,omitempty"`
+	Loops      int     `json:"loops,omitempty"`
+}
+
+func toWire(m metrics.Summary) summaryWire {
+	return summaryWire{
+		SdBP:       m.SdBP,
+		BPMismatch: m.BPMismatch,
+		HasRegions: m.HasRegions,
+		SdCP:       m.SdCP,
+		SdLP:       m.SdLP,
+		LPMismatch: m.LPMismatch,
+		Blocks:     m.Blocks,
+		Traces:     m.Traces,
+		Loops:      m.Loops,
+	}
+}
+
+// compareResponse is the POST /v1/compare body on success. It contains
+// only result data — everything volatile per-invocation (guest blocks
+// executed, cache temperature, coalescing role) travels in X-Inipd-*
+// headers — so a warm response is byte-identical to the cold one that
+// seeded the cache.
+type compareResponse struct {
+	Bench      string             `json:"bench"`
+	Class      string             `json:"class"`
+	Scale      float64            `json:"scale"`
+	TPaper     float64            `json:"t_paper"`
+	TEffective uint64             `json:"t_effective"`
+	Summary    summaryWire        `json:"summary"`
+	Train      summaryWire        `json:"train"`
+	Failures   []core.UnitFailure `json:"failures,omitempty"`
+}
+
+// compareOut is one flight's outcome, shared by every coalesced caller.
+type compareOut struct {
+	status int
+	errMsg string
+	body   []byte
+	blocks uint64
+}
+
+// flight is one in-progress comparison; followers wait on done and
+// share out.
+type flight struct {
+	done chan struct{}
+	out  *compareOut
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	s.m.compareRequests.Add(1)
+	var req compareRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	bench := spec.ByName(strings.TrimSpace(req.Bench))
+	if bench == nil {
+		errorJSON(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
+		return
+	}
+	if req.T <= 0 {
+		errorJSON(w, http.StatusBadRequest, "threshold t must be positive, got %v", req.T)
+		return
+	}
+	scale := req.Scale
+	if scale <= 0 {
+		scale = s.cfg.Scale
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	r = r.WithContext(ctx)
+
+	release, status := s.admit(r)
+	switch status {
+	case 0:
+		defer release()
+	case http.StatusTooManyRequests:
+		s.m.compareOverload.Add(1)
+		w.Header().Set("Retry-After", "1")
+		errorJSON(w, status, "server at capacity (%d inflight, %d queued)", s.cfg.MaxInflight, s.cfg.MaxQueue)
+		return
+	case http.StatusGatewayTimeout:
+		s.m.compareDeadline.Add(1)
+		errorJSON(w, status, "deadline expired while queued for admission")
+		return
+	default:
+		errorJSON(w, status, "draining")
+		return
+	}
+
+	// Coalesce identical in-flight work: the key pins everything that
+	// determines the result (benchmark → image+tape, threshold →
+	// engine config, scale → ladder clamp), so sharing is safe.
+	key := fmt.Sprintf("%s|t=%g|scale=%g", bench.Name, req.T, scale)
+	s.flightMu.Lock()
+	f, follower := s.flights[key]
+	if !follower {
+		f = &flight{done: make(chan struct{})}
+		s.flights[key] = f
+	}
+	s.flightMu.Unlock()
+
+	if follower {
+		s.m.compareCoalesced.Add(1)
+	} else {
+		go func() {
+			f.out = s.exec(key, bench, req.T, scale)
+			s.flightMu.Lock()
+			delete(s.flights, key)
+			s.flightMu.Unlock()
+			close(f.done)
+		}()
+	}
+
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// The flight keeps running: its result still lands in the
+		// cache and serves any follower with a longer deadline.
+		s.m.compareDeadline.Add(1)
+		errorJSON(w, http.StatusGatewayTimeout, "deadline expired after %v", timeout)
+		return
+	}
+	out := f.out
+
+	role := "leader"
+	if follower {
+		role = "follower"
+	}
+	w.Header().Set("X-Inipd-Coalesced", role)
+	w.Header().Set("X-Inipd-Guest-Blocks", fmt.Sprintf("%d", out.blocks))
+	switch {
+	case s.cfg.Cache == nil:
+		w.Header().Set("X-Inipd-Cache", "off")
+	case out.blocks == 0:
+		w.Header().Set("X-Inipd-Cache", "hit")
+		s.m.compareWarm.Add(1)
+	default:
+		w.Header().Set("X-Inipd-Cache", "miss")
+	}
+	if out.status != http.StatusOK {
+		s.m.compareErrors.Add(1)
+		errorJSON(w, out.status, "%s", out.errMsg)
+		return
+	}
+	s.m.compareOK.Add(1)
+	s.m.guestBlocks.Add(out.blocks)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out.body)
+}
+
+// runCompare executes one benchmark × threshold comparison on the
+// shared scheduler and renders the canonical response body. It runs to
+// completion regardless of any caller's deadline — abandoning it would
+// waste the work the cache is about to keep.
+func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float64) *compareOut {
+	eff := study.EffectiveThreshold(paperT, scale)
+	var timing core.Timing
+	opts := core.Options{
+		Thresholds: []uint64{eff},
+		Perf:       true,
+		Timing:     &timing,
+		Trace:      s.cfg.Trace,
+		Cache:      s.cfg.Cache,
+		// Must match the study's context format exactly, so the daemon
+		// and the CLI share cache entries for the same work.
+		CacheContext: fmt.Sprintf("scale=%g", scale),
+	}
+	done := make(chan *core.BenchmarkResult, 1)
+	core.ScheduleBenchmark(s.sched, bench.Target(scale), opts, func(r *core.BenchmarkResult) {
+		done <- r
+	})
+	var res *core.BenchmarkResult
+	select {
+	case res = <-done:
+	case <-s.sched.Done():
+		// The shared pool is gone (a defect escaped a unit wrapper);
+		// nothing will complete this flight.
+		return &compareOut{status: http.StatusServiceUnavailable, errMsg: "comparison scheduler stopped"}
+	}
+	resp := compareResponse{
+		Bench:      bench.Name,
+		Class:      bench.Class.String(),
+		Scale:      scale,
+		TPaper:     paperT,
+		TEffective: eff,
+		Train:      toWire(res.Train),
+		Failures:   res.Failures,
+	}
+	if len(res.Results) == 1 {
+		resp.Summary = toWire(res.Results[0].Summary)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return &compareOut{status: http.StatusInternalServerError, errMsg: err.Error()}
+	}
+	return &compareOut{
+		status: http.StatusOK,
+		body:   append(body, '\n'),
+		blocks: timing.BlocksExecuted.Load(),
+	}
+}

@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resultcache"
+	"repro/internal/spec"
+)
+
+// newTestServer builds a Server with small admission limits and, when
+// gate is non-nil, a fake exec that blocks on it and counts calls.
+func newTestServer(t *testing.T, cfg Config, gate chan struct{}, calls *atomic.Int64) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gate != nil {
+		s.exec = func(key string, _ *spec.Benchmark, _, _ float64) *compareOut {
+			calls.Add(1)
+			<-gate
+			return &compareOut{
+				status: http.StatusOK,
+				body:   []byte(fmt.Sprintf("{\"key\":%q}\n", key)),
+				blocks: 7,
+			}
+		}
+	}
+	return s
+}
+
+func postCompare(s *Server, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", "/v1/compare", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCompareValidation: malformed requests are rejected up front.
+func TestCompareValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, nil, nil)
+	for name, body := range map[string]string{
+		"bad json":      "{",
+		"unknown bench": `{"bench":"nope","t":2000}`,
+		"bad threshold": `{"bench":"gzip","t":-1}`,
+	} {
+		if w := postCompare(s, body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, w.Code)
+		}
+	}
+}
+
+// TestAdmissionOverload: with one inflight slot and no wait queue, a
+// second concurrent request is rejected immediately with 429 and a
+// Retry-After hint, and the first still completes.
+func TestAdmissionOverload(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	s := newTestServer(t, Config{Workers: 1, MaxInflight: 1, MaxQueue: -1}, gate, &calls)
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postCompare(s, `{"bench":"gzip","t":2000}`) }()
+	waitFor(t, "leader to start executing", func() bool { return calls.Load() == 1 })
+
+	// A different benchmark, so coalescing cannot absorb it: it must
+	// fall to admission, which has no free slot and no queue.
+	w := postCompare(s, `{"bench":"mcf","t":2000}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429\n%s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(gate)
+	if w := <-first; w.Code != http.StatusOK {
+		t.Fatalf("admitted request failed: %d %s", w.Code, w.Body.String())
+	}
+	if got := s.m.compareOverload.Load(); got != 1 {
+		t.Fatalf("overload counter = %d, want 1", got)
+	}
+}
+
+// TestAdmissionDeadline: a queued request whose deadline expires before
+// a slot frees gets 504, not an indefinite wait.
+func TestAdmissionDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	var calls atomic.Int64
+	s := newTestServer(t, Config{Workers: 1, MaxInflight: 1, MaxQueue: 4}, gate, &calls)
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postCompare(s, `{"bench":"gzip","t":2000}`) }()
+	waitFor(t, "leader to start executing", func() bool { return calls.Load() == 1 })
+
+	w := postCompare(s, `{"bench":"mcf","t":2000,"timeout_ms":30}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("queued-past-deadline status %d, want 504\n%s", w.Code, w.Body.String())
+	}
+	if got := s.m.compareDeadline.Load(); got != 1 {
+		t.Fatalf("deadline counter = %d, want 1", got)
+	}
+}
+
+// TestExecutionDeadline: an admitted request whose work outlives its
+// deadline gets 504 while the flight keeps running to completion (its
+// result must still land for followers and the cache).
+func TestExecutionDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	s := newTestServer(t, Config{Workers: 1, MaxInflight: 2, MaxQueue: 4}, gate, &calls)
+
+	w := postCompare(s, `{"bench":"gzip","t":2000,"timeout_ms":30}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504\n%s", w.Code, w.Body.String())
+	}
+	close(gate)
+	// The abandoned flight still completes and unregisters.
+	waitFor(t, "flight cleanup", func() bool {
+		s.flightMu.Lock()
+		defer s.flightMu.Unlock()
+		return len(s.flights) == 0
+	})
+}
+
+// TestCoalesceIdenticalRequests: concurrent identical compares execute
+// once; every caller gets the same 200 body, and the extras are counted
+// and labelled as followers.
+func TestCoalesceIdenticalRequests(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	s := newTestServer(t, Config{Workers: 1, MaxInflight: 8, MaxQueue: 8}, gate, &calls)
+
+	const n = 3
+	results := make(chan *httptest.ResponseRecorder, n)
+	body := `{"bench":"gzip","t":2000}`
+	go func() { results <- postCompare(s, body) }()
+	waitFor(t, "leader to start executing", func() bool { return calls.Load() == 1 })
+	for i := 1; i < n; i++ {
+		go func() { results <- postCompare(s, body) }()
+	}
+	waitFor(t, "followers to join the flight", func() bool { return s.m.compareCoalesced.Load() == n-1 })
+	close(gate)
+
+	var bodies []string
+	roles := map[string]int{}
+	for i := 0; i < n; i++ {
+		w := <-results
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		bodies = append(bodies, w.Body.String())
+		roles[w.Header().Get("X-Inipd-Coalesced")]++
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("executed %d scheduler units for %d identical requests, want 1", calls.Load(), n)
+	}
+	for _, b := range bodies[1:] {
+		if b != bodies[0] {
+			t.Fatalf("coalesced bodies differ:\n%s\n%s", bodies[0], b)
+		}
+	}
+	if roles["leader"] != 1 || roles["follower"] != n-1 {
+		t.Fatalf("roles = %v, want 1 leader / %d followers", roles, n-1)
+	}
+}
+
+// TestCompareWarmColdE2E drives the real pipeline through a real HTTP
+// server twice with a result cache: the warm response must be
+// byte-identical to the cold one and report zero guest blocks executed.
+func TestCompareWarmColdE2E(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Scale: 0.001, Workers: 1, Cache: cache}, nil, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/compare", "application/json",
+			strings.NewReader(`{"bench":"gzip","t":2000}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	cold, coldBody := post()
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold compare: %d %s", cold.StatusCode, coldBody)
+	}
+	if cold.Header.Get("X-Inipd-Cache") != "miss" || cold.Header.Get("X-Inipd-Guest-Blocks") == "0" {
+		t.Fatalf("cold headers wrong: cache=%q blocks=%q",
+			cold.Header.Get("X-Inipd-Cache"), cold.Header.Get("X-Inipd-Guest-Blocks"))
+	}
+	var resp compareResponse
+	if err := json.Unmarshal(coldBody, &resp); err != nil {
+		t.Fatalf("cold body: %v", err)
+	}
+	if resp.Bench != "gzip" || resp.TEffective != 2 || resp.Summary.Blocks == 0 {
+		t.Fatalf("cold response wrong: %+v", resp)
+	}
+
+	warm, warmBody := post()
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm compare: %d %s", warm.StatusCode, warmBody)
+	}
+	if got := warm.Header.Get("X-Inipd-Guest-Blocks"); got != "0" {
+		t.Fatalf("warm compare executed %s guest blocks, want 0", got)
+	}
+	if warm.Header.Get("X-Inipd-Cache") != "hit" {
+		t.Fatalf("warm cache header = %q", warm.Header.Get("X-Inipd-Cache"))
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Fatalf("warm body differs from cold:\n%s\n%s", coldBody, warmBody)
+	}
+	if s.m.compareWarm.Load() != 1 {
+		t.Fatalf("warm counter = %d, want 1", s.m.compareWarm.Load())
+	}
+}
+
+// jobStatus fetches one job's record (and result when done).
+func jobStatus(t *testing.T, base, id string) (jobRecord, *jobResult) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Job    jobRecord  `json:"job"`
+		Result *jobResult `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Job, out.Result
+}
+
+func startJob(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/study", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("study submit: %d %s", resp.StatusCode, raw)
+	}
+	var rec jobRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID == "" {
+		t.Fatal("job accepted without an id")
+	}
+	return rec.ID
+}
+
+func waitJob(t *testing.T, base, id string, want JobState) jobRecord {
+	t.Helper()
+	var rec jobRecord
+	waitFor(t, fmt.Sprintf("job %s to reach %s", id, want), func() bool {
+		rec, _ = jobStatus(t, base, id)
+		if rec.State.terminal() && rec.State != want {
+			t.Fatalf("job %s ended %s (err %q), want %s", id, rec.State, rec.Error, want)
+		}
+		return rec.State == want
+	})
+	return rec
+}
+
+func getFigures(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/figures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("figures: %d %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestStudyJobLifecycle: an async study job runs to done; its status,
+// result, figure JSON, SSE progress stream and the metrics endpoint all
+// reflect it.
+func TestStudyJobLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{Scale: 0.001, Workers: 1, StateDir: t.TempDir()}, nil, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Post(ts.URL+"/v1/study", "application/json",
+		strings.NewReader(`{"benches":["nope"]}`)); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown bench accepted: %v %v", err, resp.Status)
+	}
+
+	id := startJob(t, ts.URL, `{"benches":["gzip","swim"]}`)
+	rec := waitJob(t, ts.URL, id, JobDone)
+	if rec.Error != "" {
+		t.Fatalf("done job carries error %q", rec.Error)
+	}
+	_, res := jobStatus(t, ts.URL, id)
+	if res == nil || len(res.Figures) == 0 || res.Perf.BlocksExecuted == 0 {
+		t.Fatalf("done job result missing: %+v", res)
+	}
+
+	var figs []json.RawMessage
+	if err := json.Unmarshal(getFigures(t, ts.URL, id), &figs); err != nil || len(figs) == 0 {
+		t.Fatalf("figures endpoint: %v (%d figures)", err, len(figs))
+	}
+
+	// SSE on a finished job: replay then the terminal state event.
+	sse, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := io.ReadAll(sse.Body)
+	sse.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(events), "data: done gzip") &&
+		!strings.Contains(string(events), "data: done swim") {
+		t.Fatalf("SSE replay carries no progress lines:\n%s", events)
+	}
+	if !strings.Contains(string(events), "event: state\ndata: done") {
+		t.Fatalf("SSE stream missing terminal state event:\n%s", events)
+	}
+
+	metricsResp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtext, _ := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	for _, want := range []string{
+		"inipd_ready 1",
+		"inipd_study_jobs_finished_total 1",
+		`inipd_jobs{state="done"} 1`,
+		"inipd_study_guest_blocks_total",
+	} {
+		if !strings.Contains(string(mtext), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mtext)
+		}
+	}
+
+	// Probes: alive and ready.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %v %v", path, err, resp.Status)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestJobInterruptResume: a job stopped mid-run (stop_after) is
+// re-enqueued by a second server over the same state directory and
+// completes with figures byte-identical to an uninterrupted run of the
+// same study.
+func TestJobInterruptResume(t *testing.T) {
+	state := t.TempDir()
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := newTestServer(t, Config{Scale: 0.001, Workers: 1, StateDir: state, Cache: cache}, nil, nil)
+	ts1 := httptest.NewServer(s1.Handler())
+	id := startJob(t, ts1.URL, `{"benches":["gzip","swim"],"stop_after":1}`)
+	rec := waitJob(t, ts1.URL, id, JobStopped)
+	if rec.State != JobStopped {
+		t.Fatalf("job state %s, want stopped", rec.State)
+	}
+	if err := s1.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Second daemon generation: resume over the same state dir.
+	s2 := newTestServer(t, Config{Scale: 0.001, Workers: 1, StateDir: state, Cache: cache, Resume: true}, nil, nil)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	rec = waitJob(t, ts2.URL, id, JobDone)
+	if !rec.Resumed {
+		t.Fatalf("completed job not marked resumed: %+v", rec)
+	}
+	if rec.ResumedSeries != 1 {
+		t.Fatalf("resumed job restored %d series from its checkpoint, want 1", rec.ResumedSeries)
+	}
+	resumedFigs := getFigures(t, ts2.URL, id)
+
+	// An uninterrupted run of the same study must agree byte-for-byte.
+	fresh := startJob(t, ts2.URL, `{"benches":["gzip","swim"]}`)
+	waitJob(t, ts2.URL, fresh, JobDone)
+	if freshFigs := getFigures(t, ts2.URL, fresh); !bytes.Equal(resumedFigs, freshFigs) {
+		t.Fatalf("resumed figures differ from a fresh run's:\n%s\n%s", resumedFigs, freshFigs)
+	}
+
+	if err := s2.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainRejectsNewWork: a draining server answers 503 on readyz,
+// compare and study, while health stays 200.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, nil, nil)
+	if err := s.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if w := postCompare(s, `{"bench":"gzip","t":2000}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("compare while draining: %d", w.Code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/study", "application/json", strings.NewReader(`{}`))
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("study while draining: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	if resp, err = http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	if resp, err = http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// TestConcurrentMixedLoad exercises admission, coalescing and the
+// shared scheduler together under -race: a burst of identical and
+// distinct compares with a tight admission window must neither race nor
+// deadlock, and every response must be a well-formed 200/429/504.
+func TestConcurrentMixedLoad(t *testing.T) {
+	s := newTestServer(t, Config{Scale: 0.001, Workers: 1, MaxInflight: 2, MaxQueue: 2}, nil, nil)
+	benches := []string{"gzip", "mcf", "gzip", "swim", "gzip", "mcf"}
+	var wg sync.WaitGroup
+	codes := make([]int, len(benches))
+	for i, b := range benches {
+		i, b := i, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := postCompare(s, fmt.Sprintf(`{"bench":%q,"t":2000}`, b))
+			codes[i] = w.Code
+		}()
+	}
+	wg.Wait()
+	ok := 0
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("request %d (%s): unexpected status %d", i, benches[i], c)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request in the burst succeeded")
+	}
+}

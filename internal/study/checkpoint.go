@@ -78,6 +78,11 @@ func openCheckpoint(cfg *Config, paperT []float64) (*checkpointer, map[string]Be
 		order: order,
 		done:  make(map[string]BenchmarkSeries),
 	}
+	// A kill mid-publication orphans a checkpoint temp file next to the
+	// destination; sweep it before any write of this run is in flight.
+	// Scoped to this checkpoint's basename so per-job checkpoints can
+	// share a state directory with live writers.
+	atomicio.SweepTempsFor(cfg.Checkpoint)
 	if !cfg.Resume {
 		return c, nil, nil
 	}

@@ -290,6 +290,9 @@ type Perf struct {
 	ResultCacheMisses uint64 `json:"result_cache_misses,omitempty"`
 	ResultCacheStores uint64 `json:"result_cache_stores,omitempty"`
 	ResultCacheErrors uint64 `json:"result_cache_errors,omitempty"`
+	// ResultCacheHealFailures counts entry writes demoted to no-ops
+	// after the store latched read-only (unwritable cache directory).
+	ResultCacheHealFailures uint64 `json:"result_cache_heal_failures,omitempty"`
 }
 
 // Run executes the study: every benchmark is decomposed into run units
@@ -449,6 +452,7 @@ func Run(cfg Config) (*Results, error) {
 	res.Perf.ResultCacheMisses = cacheCounters.Misses
 	res.Perf.ResultCacheStores = cacheCounters.Stores
 	res.Perf.ResultCacheErrors = cacheCounters.Errors
+	res.Perf.ResultCacheHealFailures = cacheCounters.HealFailures
 	if wall > 0 {
 		res.Perf.BlocksPerSec = float64(res.Perf.BlocksExecuted) / wall.Seconds()
 	}
