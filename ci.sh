@@ -104,6 +104,45 @@ grep -q ' 0 misses, 0 stores, 0 errors$' "$tmpdir/warm.err"
     -cacheverify > "$tmpdir/verify-figs.txt" 2> /dev/null
 cmp "$tmpdir/cold-figs.txt" "$tmpdir/verify-figs.txt"
 
+echo "== perf smoke =="
+# Hot-loop throughput gate against the committed floors in
+# BENCH_floor.json (see its comment for how the baselines were chosen:
+# far enough under a healthy measurement to absorb machine variance,
+# far enough over the generic-dispatch fallback that losing the arena
+# fast path trips the gate). The microbenchmarks run without -race —
+# race instrumentation would measure the instrumentation, not the loop.
+frac=$(sed -n 's/.*"max_regression_frac": *\([0-9.]*\).*/\1/p' BENCH_floor.json)
+micro_base=$(sed -n 's/.*"exec_block_loop_heavy_blocks_per_sec": *\([0-9.]*\).*/\1/p' BENCH_floor.json)
+study_base=$(sed -n 's/.*"study_race_scale001_blocks_per_sec": *\([0-9.]*\).*/\1/p' BENCH_floor.json)
+go test -run='^$' -bench 'BenchmarkExecBlock|BenchmarkExecGeneric|BenchmarkRunMulti' \
+    -benchtime=0.3s ./internal/dbt/ > "$tmpdir/bench.txt"
+micro=$(awk '/^BenchmarkExecBlock\/loop_heavy/ {
+    for (i = 2; i <= NF; i++) if ($i == "blocks/s") print $(i - 1) }' "$tmpdir/bench.txt")
+awk -v got="$micro" -v base="$micro_base" -v frac="$frac" 'BEGIN {
+    floor = base * (1 - frac)
+    if (got == "" || got + 0 < floor) {
+        printf "BenchmarkExecBlock/loop_heavy: %s blocks/s, floor %.0f (baseline %.0f - %.0f%%)\n",
+            got, floor, base, frac * 100 > "/dev/stderr"
+        exit 1
+    }
+}'
+# Full-suite Scale 0.01 study under the race detector: the hot loop at
+# study scale, gated against the race-instrumented baseline. Figure
+# bytes are pinned by the golden corpus — assert that explicitly here
+# so a perf-motivated engine change cannot pass this section while
+# drifting results.
+go test -race -run '^TestGoldenFigures$' ./internal/study/
+"$tmpdir/inipstudy" -scale 0.01 -fig all -benchjson "$tmpdir/perf.json" > /dev/null
+studybps=$(sed -n 's/.*"blocks_per_sec": *\([0-9.]*\).*/\1/p' "$tmpdir/perf.json" | head -n 1)
+awk -v got="$studybps" -v base="$study_base" -v frac="$frac" 'BEGIN {
+    floor = base * (1 - frac)
+    if (got == "" || got + 0 < floor) {
+        printf "scale 0.01 study: %s blocks/s, floor %.0f (baseline %.0f - %.0f%%)\n",
+            got, floor, base, frac * 100 > "/dev/stderr"
+        exit 1
+    }
+}'
+
 echo "== serve smoke (-race) =="
 # Boot the daemon, hit it cold and warm (byte-identical bodies, zero
 # guest blocks warm), overload it (429 + Retry-After), stop a study job
@@ -240,5 +279,6 @@ go test -run='^$' -fuzz='^FuzzISADecode$' -fuzztime=10s ./internal/isa/
 go test -run='^$' -fuzz='^FuzzImageLoad$' -fuzztime=10s ./internal/guest/
 go test -run='^$' -fuzz='^FuzzFaultSpec$' -fuzztime=10s ./internal/faultinject/
 go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s ./internal/study/
+go test -run='^$' -fuzz='^FuzzExecPaths$' -fuzztime=10s ./internal/dbt/
 
 echo "CI OK"

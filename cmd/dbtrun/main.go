@@ -94,11 +94,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	start := time.Now()
 	snap, runStats, err := dbt.Run(img, tape, cfg)
 	if rec != nil {
-		var blocks uint64
+		ev := obs.Event{Bench: img.Name, Unit: obs.UnitRun, T: *threshold}
 		if err == nil {
-			blocks = runStats.BlocksExecuted
+			ev.Blocks = runStats.BlocksExecuted
+			ev.Fast = runStats.FastDispatches
+			ev.Generic = runStats.GenericDispatches
+			ev.Lookups = runStats.CacheLookups
 		}
-		rec.Record(img.Name, obs.UnitRun, *threshold, 0, start, time.Since(start), blocks, err)
+		rec.RecordEvent(ev, start, time.Since(start), err)
 		dropped, cerr := rec.Close()
 		if ferr := traceOut.Close(); cerr == nil {
 			cerr = ferr

@@ -6,7 +6,11 @@
 //	inipstudy [-scale 0.01] [-fig all|fig8,fig17] [-bench mcf,gzip]
 //	          [-chart] [-json] [-v]
 //	inipstudy -trace t.jsonl -benchjson b.json   # observability outputs
+//	                                             # (-benchjson appends a dated entry
+//	                                             # to the trajectory array in b.json)
 //	inipstudy -benchjson b.json -benchbase prior.json  # speedup vs a prior record
+//	                                             # (prior.json: trajectory or old
+//	                                             # single-record format)
 //	                                             # (or -benchbase 12.5 for raw seconds;
 //	                                             # a degenerate baseline exits 3)
 //	inipstudy -tracesum t.jsonl                  # summarize a recorded trace
@@ -47,9 +51,13 @@ import (
 	"repro/internal/textplot"
 )
 
-// benchReport is the schema of the -benchjson perf record, kept in the
-// repository (BENCH_study.json) so successive changes have a measured
-// trajectory to compare against.
+// benchReport is the schema of one -benchjson perf entry. The file
+// itself is an append-only trajectory — a JSON array of these, one per
+// measured optimization step — kept in the repository
+// (BENCH_study.json) so successive changes have a measured history to
+// compare against. writeBenchJSON appends; it also accepts a file in
+// the prior single-object format, which becomes the trajectory's first
+// entry.
 type benchReport struct {
 	Date       string  `json:"date"`
 	Scale      float64 `json:"scale"`
@@ -68,10 +76,11 @@ type benchReport struct {
 
 // parseBenchBase interprets the -benchbase value: a number is the
 // baseline wall-clock in seconds verbatim; anything else is the path of
-// a prior -benchjson record whose wall_seconds field supplies it. A
-// degenerate baseline (zero, negative, or a record without the field)
-// is not an error here — writeBenchJSON reports it as "n/a" — but an
-// unreadable or unparsable file is.
+// a prior -benchjson file whose wall_seconds supplies it — either
+// format: a trajectory array (the latest entry is the baseline) or the
+// prior single-object record. A degenerate baseline (zero, negative, or
+// a record without the field) is not an error here — writeBenchJSON
+// reports it as "n/a" — but an unreadable or unparsable file is.
 func parseBenchBase(v string) (float64, error) {
 	if v == "" {
 		return 0, nil
@@ -86,15 +95,47 @@ func parseBenchBase(v string) (float64, error) {
 	var rec struct {
 		WallSeconds float64 `json:"wall_seconds"`
 	}
+	var arr []json.RawMessage
+	if json.Unmarshal(data, &arr) == nil {
+		if len(arr) == 0 {
+			return 0, nil
+		}
+		data = arr[len(arr)-1]
+	}
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return 0, fmt.Errorf("%s: %w", v, err)
 	}
 	return rec.WallSeconds, nil
 }
 
-// writeBenchJSON publishes the perf record. It reports na=true when a
-// baseline was requested but no meaningful speedup could be computed —
-// the record then carries a speedup_note instead of a ratio.
+// readBenchTrajectory loads an existing -benchjson file as a list of
+// verbatim entries. Both formats load: the trajectory array, and the
+// prior single-object snapshot, which becomes a one-entry trajectory
+// (so the first append after the format change preserves the historic
+// baseline as entry zero). A missing file is an empty trajectory.
+func readBenchTrajectory(path string) ([]json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var arr []json.RawMessage
+	if json.Unmarshal(data, &arr) == nil {
+		return arr, nil
+	}
+	var obj map[string]json.RawMessage
+	if json.Unmarshal(data, &obj) == nil {
+		return []json.RawMessage{json.RawMessage(data)}, nil
+	}
+	return nil, fmt.Errorf("%s: neither a bench trajectory array nor a prior single-record file", path)
+}
+
+// writeBenchJSON appends the run's perf record to the trajectory file.
+// It reports na=true when a baseline was requested but no meaningful
+// speedup could be computed — the entry then carries a speedup_note
+// instead of a ratio.
 func writeBenchJSON(path string, res *study.Results, nbench int, base float64, haveBase bool) (na bool, err error) {
 	rep := benchReport{
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -115,7 +156,16 @@ func writeBenchJSON(path string, res *study.Results, nbench int, base float64, h
 		}
 		rep.SpeedupNote = "n/a: baseline or measured wall-clock is zero or absent"
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	entry, err := json.Marshal(rep)
+	if err != nil {
+		return na, err
+	}
+	traj, err := readBenchTrajectory(path)
+	if err != nil {
+		return na, err
+	}
+	traj = append(traj, entry)
+	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		return na, err
 	}
@@ -158,7 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		extT    = fs.Float64("extT", 2000, "paper-unit threshold for -ext")
 		conv    = fs.Bool("conv", false, "run the threshold-selection (convergence) experiment instead of the figures")
 
-		benchJSON = fs.String("benchjson", "", "write suite wall-clock, blocks/sec, per-phase timing and engine counters to this file")
+		benchJSON = fs.String("benchjson", "", "append suite wall-clock, blocks/sec, per-phase timing and engine counters as a dated entry to the trajectory array in this file")
 		benchBase = fs.String("benchbase", "", "baseline for the -benchjson speedup: wall-clock seconds, or the path of a prior -benchjson record (its wall_seconds is used)")
 		indep     = fs.Bool("indep", false, "run each INIP(T) independently instead of replaying the shared reference trace")
 		par       = fs.Int("par", 0, "worker-pool size for run units (default: GOMAXPROCS)")

@@ -12,6 +12,26 @@ import (
 	"repro/internal/obs"
 )
 
+// readBenchFile strict-decodes a -benchjson trajectory file and returns
+// its entries; schema drift in any entry fails the test.
+func readBenchFile(t *testing.T, path string) []benchReport {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj []benchReport
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&traj); err != nil {
+		t.Fatalf("benchjson schema: %v\n%s", err, raw)
+	}
+	if len(traj) == 0 {
+		t.Fatalf("benchjson trajectory is empty:\n%s", raw)
+	}
+	return traj
+}
+
 // TestSmokeFigurePipeline runs the real figure pipeline at tiny scale on
 // a two-benchmark subset and validates the observability outputs: the
 // -benchjson record parses against its schema with live counters, the
@@ -44,16 +64,7 @@ func TestSmokeFigurePipeline(t *testing.T) {
 
 	// -benchjson schema: strict-decode into the writer's own struct, then
 	// sanity-check the counters a real run cannot leave at zero.
-	raw, err := os.ReadFile(benchJSON)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var rep benchReport
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rep); err != nil {
-		t.Fatalf("benchjson schema: %v\n%s", err, raw)
-	}
+	rep := readBenchFile(t, benchJSON)[0]
 	if rep.Scale != 0.001 || rep.Benchmarks != 2 || rep.Workers < 1 {
 		t.Fatalf("benchjson header wrong: %+v", rep)
 	}
@@ -120,7 +131,8 @@ func TestSmokeFigurePipeline(t *testing.T) {
 	if code := run([]string{"-tracesum", traceFile}, &sum, new(bytes.Buffer)); code != 0 {
 		t.Fatalf("-tracesum exited %d", code)
 	}
-	for _, want := range []string{"phase", "build", "compare", "worker occupancy"} {
+	for _, want := range []string{"phase", "build", "compare", "worker occupancy",
+		"hot loop", "blocks/s", "dispatch", "cache lookups"} {
 		if !strings.Contains(sum.String(), want) {
 			t.Fatalf("-tracesum output missing %q:\n%s", want, sum.String())
 		}
@@ -281,14 +293,7 @@ func TestCacheCLI(t *testing.T) {
 		t.Fatalf("warm figure output differs from cold:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
 	}
 
-	raw, err := os.ReadFile(warmJSON)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var rep benchReport
-	if err := json.Unmarshal(raw, &rep); err != nil {
-		t.Fatal(err)
-	}
+	rep := readBenchFile(t, warmJSON)[0]
 	if rep.BlocksExecuted != 0 {
 		t.Fatalf("warm run executed %d guest blocks, want 0", rep.BlocksExecuted)
 	}
@@ -330,17 +335,8 @@ func TestBenchBaseSpeedup(t *testing.T) {
 
 	record := func(t *testing.T, path string) benchReport {
 		t.Helper()
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var rep benchReport
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&rep); err != nil {
-			t.Fatalf("benchjson schema: %v\n%s", err, raw)
-		}
-		return rep
+		traj := readBenchFile(t, path)
+		return traj[len(traj)-1]
 	}
 
 	// Numeric seconds, the long-standing form.
@@ -400,5 +396,66 @@ func TestBenchBaseSpeedup(t *testing.T) {
 	}
 	if !strings.Contains(fastErr.String(), "-benchbase") {
 		t.Fatalf("error does not name the flag:\n%s", fastErr.String())
+	}
+}
+
+// TestBenchTrajectory covers the append-only -benchjson format: each
+// run appends a dated entry; a file in the prior single-object format
+// is absorbed as the trajectory's first entry, stays byte-identical
+// through the conversion, and still works as a -benchbase baseline.
+func TestBenchTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-scale", "0.001", "-bench", "gzip", "-fig", "fig8"}
+	traj := filepath.Join(dir, "traj.json")
+
+	for i := 1; i <= 2; i++ {
+		args := append([]string{"-benchjson", traj}, base...)
+		if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 0 {
+			t.Fatalf("run %d exited %d", i, code)
+		}
+		if got := len(readBenchFile(t, traj)); got != i {
+			t.Fatalf("after %d runs the trajectory has %d entries", i, got)
+		}
+	}
+
+	// Legacy single-object file: entry zero survives verbatim (modulo
+	// re-indentation), the new entry lands behind it.
+	legacy := filepath.Join(dir, "legacy.json")
+	seed := benchReport{Date: "2026-01-01", Scale: 0.5, Benchmarks: 26}
+	seed.WallSeconds = 123.5
+	seed.BlocksExecuted = 42
+	raw, err := json.MarshalIndent(seed, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacy, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-benchjson", legacy, "-benchbase", legacy}, base...)
+	if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 0 {
+		t.Fatalf("legacy-append run exited %d", code)
+	}
+	entries := readBenchFile(t, legacy)
+	if len(entries) != 2 {
+		t.Fatalf("legacy file has %d entries after append, want 2", len(entries))
+	}
+	if entries[0].Date != "2026-01-01" || entries[0].WallSeconds != 123.5 || entries[0].BlocksExecuted != 42 {
+		t.Fatalf("legacy entry not preserved: %+v", entries[0])
+	}
+	// The baseline came from the legacy record's wall_seconds, so the
+	// appended entry carries a speedup against it.
+	if got := entries[1]; got.BaselineWallSeconds != 123.5 || got.Speedup <= 0 {
+		t.Fatalf("appended entry has no speedup vs the legacy baseline: %+v", got)
+	}
+
+	// A trajectory file as -benchbase uses its latest entry.
+	args = append([]string{"-benchjson", filepath.Join(dir, "next.json"), "-benchbase", legacy}, base...)
+	if code := run(args, new(bytes.Buffer), new(bytes.Buffer)); code != 0 {
+		t.Fatalf("trajectory-baseline run exited %d", code)
+	}
+	next := readBenchFile(t, filepath.Join(dir, "next.json"))
+	if next[0].BaselineWallSeconds != entries[1].WallSeconds {
+		t.Fatalf("baseline %.6f is not the trajectory's latest wall_seconds %.6f",
+			next[0].BaselineWallSeconds, entries[1].WallSeconds)
 	}
 }

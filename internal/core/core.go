@@ -385,6 +385,27 @@ func (b *benchRun) finishItem() {
 // event is emitted. Both observers are fed from the same interval, so
 // trace per-phase sums reconcile exactly with the Perf phase totals.
 func (b *benchRun) record(unit string, threshold uint64, worker int, start time.Time, blocks uint64, err error) {
+	b.recordEv(unit, threshold, worker, start, obs.Event{Blocks: blocks}, err)
+}
+
+// recordRun is record for executed run spans: the engines' hot-loop
+// counters ride along in the trace event, so -tracesum can report
+// blocks/s, the dispatch split and the cache-lookup rate from the trace
+// alone.
+func (b *benchRun) recordRun(unit string, threshold uint64, worker int, start time.Time, stats ...*dbt.RunStats) {
+	var ev obs.Event
+	for _, st := range stats {
+		ev.Blocks += st.BlocksExecuted
+		ev.Fast += st.FastDispatches
+		ev.Generic += st.GenericDispatches
+		ev.Lookups += st.CacheLookups
+	}
+	b.recordEv(unit, threshold, worker, start, ev, nil)
+}
+
+// recordEv is the shared body of record/recordRun; ev carries the
+// span's counter payload, identity and timeline are filled here.
+func (b *benchRun) recordEv(unit string, threshold uint64, worker int, start time.Time, ev obs.Event, err error) {
 	dur := time.Since(start)
 	if tm := b.opts.Timing; tm != nil {
 		switch unit {
@@ -398,7 +419,8 @@ func (b *benchRun) record(unit string, threshold uint64, worker int, start time.
 			tm.Compare.Add(int64(dur))
 		}
 	}
-	b.opts.Trace.Record(b.t.Name, unit, threshold, worker, start, dur, blocks, err)
+	ev.Bench, ev.Unit, ev.T, ev.Worker = b.t.Name, unit, threshold, worker
+	b.opts.Trace.RecordEvent(ev, start, dur, err)
 }
 
 // addRunStats folds one run's engine counters into the study aggregate.
@@ -638,7 +660,7 @@ func (b *benchRun) refBody(worker int) error {
 				return err
 			}
 			b.addRunStats(stats)
-			b.record(obs.UnitRef, 0, worker, start, stats.BlocksExecuted, nil)
+			b.recordRun(obs.UnitRef, 0, worker, start, stats)
 			if useCache {
 				computed := runOutput{Snapshot: avep, Stats: *stats, Cycles: cyclesOf(avepCfg)}
 				if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
@@ -694,12 +716,10 @@ func (b *benchRun) refBody(worker int) error {
 				b.record(obs.UnitRef, 0, worker, start, 0, err)
 				return err
 			}
-			var blocks uint64
 			for _, st := range stats {
 				b.addRunStats(st)
-				blocks += st.BlocksExecuted
 			}
-			b.record(obs.UnitRef, 0, worker, start, blocks, nil)
+			b.recordRun(obs.UnitRef, 0, worker, start, stats...)
 			outs := make([]runOutput, len(rungs))
 			for j := range rungs {
 				cfg := cfgs[j+1]
@@ -770,7 +790,7 @@ func (b *benchRun) inipBody(i int, threshold uint64, worker int) error {
 		return err
 	}
 	b.addRunStats(stats)
-	b.record(obs.UnitRef, threshold, worker, start, stats.BlocksExecuted, nil)
+	b.recordRun(obs.UnitRef, threshold, worker, start, stats)
 	computed := runOutput{T: cfg.Threshold, Snapshot: snap, Stats: *stats, Cycles: cyclesOf(cfg)}
 	if useCache {
 		if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
@@ -895,7 +915,7 @@ func (b *benchRun) trainBody(worker int) error {
 			return err
 		}
 		b.addRunStats(stats)
-		b.record(obs.UnitTrain, 0, worker, start, stats.BlocksExecuted, nil)
+		b.recordRun(obs.UnitTrain, 0, worker, start, stats)
 		if useCache {
 			computed := runOutput{Snapshot: train, Stats: *stats, Cycles: cyclesOf(cfg)}
 			if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {

@@ -126,28 +126,20 @@ type Config struct {
 // per block.
 const convergeCheckEvery = 32
 
-// tblock is a translated block in the code cache.
+// tblock is a translated block in the code cache. Field order is
+// deliberate: everything postExec touches per dynamic execution sits at
+// the front so the per-block working set is one or two cache lines;
+// translate-time and snapshot-only fields trail. The lowered execution
+// records themselves live off-struct, in the engine's arena and flat
+// block table (see lower.go), indexed by id.
 type tblock struct {
-	addr int
-	end  int
-	// insts is the decoded body including the terminator.
-	insts []isa.Inst
-	// term classifies the terminator for the region former.
-	term        region.TermKind
+	// First 64 bytes: every field the replay loop reads for a frozen
+	// steady-state block, all read-mostly, so the profiling-counter
+	// writes below never dirty this line and the 17-engine working set
+	// of a shared-trace run stays cache-resident.
+
+	addr        int
 	takenTarget int
-	fallTarget  int
-	hasBranch   bool
-	costSum     int // sum of guest instruction costs, for the perf model
-
-	// Pre-lowered execution records (see lower.go): body holds the
-	// lowered non-control instructions, tkind/brs/brt the terminator.
-	// lowered is false for blocks the lowerer declined, which then run
-	// through the generic interp.Exec path.
-	body     []lop
-	tkind    tkind
-	brs, brt uint8
-	lowered  bool
-
 	// takenBlk/fallBlk chain this block to the translated blocks its
 	// terminator edges last reached, so steady-state execution skips the
 	// code-cache lookup. Entries are validated against the actual next
@@ -156,21 +148,62 @@ type tblock struct {
 	// are never replaced, only their counters change.
 	takenBlk *tblock
 	fallBlk  *tblock
+	// itab is the per-block indirect-target table (jr/ret terminators
+	// only, allocated lazily on the first chained successor): a small
+	// direct-mapped cache keyed by the low bits of the successor
+	// address, behind takenBlk's single most-recent entry. A return
+	// block bouncing between a few call sites then resolves every
+	// successor without a code-cache lookup.
+	itab *[indirectWays]*tblock
+	// regionEntry points at the runtime info of the region this block
+	// is the entry of, if any.
+	regionEntry *regionRT
+	// costSum sums guest instruction costs for the perf model; int32
+	// keeps it on the hot line (block costs are tiny).
+	costSum int32
+	// ninsts mirrors len(insts) so the instruction accounting does not
+	// touch the cold slice header.
+	ninsts uint32
+	// id is the block's row in the engine's flat block table (and the
+	// owner of its arena span); dense in translation order.
+	id        int32
+	hasBranch bool
+	frozen    bool
+	// lowered is false for blocks the lowerer declined, which then run
+	// through the generic interp.Exec path.
+	lowered bool
+	// indirect marks jr/ret terminators: the successor is data-driven,
+	// so chaining maintains itab instead of a single edge pointer.
+	indirect bool
 
-	use    uint64
-	taken  uint64
-	frozen bool
+	// Write-hot profiling counters (touched only while unfrozen).
+
+	use uint64
+	// taken counts conditional-branch taken edges while profiling.
+	taken uint64
 	// nextRegister is the use count at which the block next becomes a
 	// registration candidate (the next multiple of the threshold),
 	// letting the hot loop test equality instead of dividing.
 	nextRegister uint64
+
+	// Cold fields: translate-time and snapshot-only.
+
+	fallTarget int
+	end        int
+	// insts is the decoded body including the terminator.
+	insts []isa.Inst
+	// term classifies the terminator for the region former.
+	term region.TermKind
 	// registrations counts how many times the block entered the
 	// candidate pool.
 	registrations int
-	// regionEntry points at the runtime info of the region this block
-	// is the entry of, if any.
-	regionEntry *regionRT
 }
+
+// indirectWays sizes tblock.itab. Indirect blocks in the benchmark
+// suite are returns shared by a handful of call sites, so a small
+// direct-mapped table resolves nearly all of them; misses fall back to
+// the code-cache lookup and replace.
+const indirectWays = 16
 
 // regionRT is the execution-time view of an optimized region. Member
 // successors are resolved to node pointers once at formation time, so
@@ -197,6 +230,10 @@ type rtNode struct {
 	rb    *profile.RegionBlock
 	taken *rtNode
 	fall  *rtNode
+	// addr caches rb.Addr: the region cursor compares it against the
+	// executed block on every region step, and the direct field spares
+	// the rb pointer chase in the replay loop.
+	addr int
 }
 
 // newRegionRT links the region's members into an execution-time node
@@ -206,6 +243,7 @@ func newRegionRT(r *profile.Region) *regionRT {
 	idx := make(map[int]int, len(r.Blocks))
 	for i := range r.Blocks {
 		rt.nodes[i].rb = &r.Blocks[i]
+		rt.nodes[i].addr = r.Blocks[i].Addr
 		idx[r.Blocks[i].ID] = i
 	}
 	for i := range rt.nodes {
@@ -287,7 +325,14 @@ type Engine struct {
 	// cache is indexed by block entry address (dense: code segments are
 	// small and block starts are code addresses), keeping the per-block
 	// dispatch off the map path.
-	cache  []*tblock
+	cache []*tblock
+	// arena is the engine's lowered-code arena: the bodies of all
+	// lowered blocks, contiguous in translation order. hot is the flat
+	// block table, one packed row per translated block (indexed by
+	// tblock.id) holding the arena span and terminator record the fast
+	// path reads. See lower.go.
+	arena  []lop
+	hot    []hotrec
 	pool   []int
 	inPool map[int]bool
 	former *region.Former
@@ -412,7 +457,7 @@ func (e *Engine) translate(addr int) (*tblock, error) {
 			return nil, fmt.Errorf("dbt: translating block at %d: %w", addr, err)
 		}
 		tb.insts = append(tb.insts, in)
-		tb.costSum += in.Op.Cost()
+		tb.costSum += int32(in.Op.Cost())
 		if in.Op.EndsBlock() {
 			tb.end = pc
 			switch {
@@ -430,6 +475,7 @@ func (e *Engine) translate(addr int) (*tblock, error) {
 				tb.fallTarget = pc + 1
 			default: // jr, ret, halt
 				tb.term = region.TermOther
+				tb.indirect = in.Op == isa.OpJr || in.Op == isa.OpRet
 			}
 			break
 		}
@@ -438,7 +484,10 @@ func (e *Engine) translate(addr int) (*tblock, error) {
 		}
 		pc++
 	}
-	tb.lowered = tb.lower()
+	tb.ninsts = uint32(len(tb.insts))
+	tb.id = int32(len(e.hot))
+	e.hot = append(e.hot, hotrec{})
+	tb.lowered = e.lower(tb)
 	tb.nextRegister = e.cfg.Threshold
 	e.cache[addr] = tb
 	e.stats.BlocksTranslated++
@@ -558,7 +607,7 @@ func (e *Engine) optimizeWave() {
 func (e *Engine) trackRegion(tb *tblock, takenEdge bool) {
 	if e.curRegion != nil {
 		node := e.curNode
-		if node == nil || node.rb.Addr != tb.addr {
+		if node == nil || node.addr != tb.addr {
 			// The cursor went stale (should not happen); treat as exit.
 			e.leaveRegion(false)
 			return
@@ -739,9 +788,13 @@ func (e *Engine) pollInterrupt() error {
 // block. Because profiling never feeds back into guest execution, the
 // outcome may equally come from this engine's own execBlock or from a
 // different engine that executed the same trace (see RunMulti).
+//
+// drainBatch (multi.go) inlines this body together with preExec's into
+// the follower replay loop; any behavioural change here must be
+// mirrored there.
 func (e *Engine) postExec(nextPC int, halted bool) error {
 	tb := e.cur
-	e.stats.Instructions += uint64(len(tb.insts))
+	e.stats.Instructions += uint64(tb.ninsts)
 	// Dispatch accounting mirrors the run loops' path choice. Followers
 	// never execute guest code themselves, but counting here — from the
 	// follower's own cache and config — keeps their statistics
@@ -784,10 +837,11 @@ func (e *Engine) postExec(nextPC int, halted bool) error {
 		}
 	}
 
-	// Resolve the successor block through the chained edge pointers,
-	// falling back to the code-cache lookup (translation of a new
-	// block waits until after the region bookkeeping, matching the
-	// cache state the region-entry check always observed).
+	// Resolve the successor block through the chained edge pointers —
+	// most-recent edge first, then the indirect-target table — falling
+	// back to the code-cache lookup (translation of a new block waits
+	// until after the region bookkeeping, matching the cache state the
+	// region-entry check always observed).
 	var next *tblock
 	if takenEdge {
 		if nb := tb.takenBlk; nb != nil && nb.addr == nextPC {
@@ -796,13 +850,15 @@ func (e *Engine) postExec(nextPC int, halted bool) error {
 	} else if nb := tb.fallBlk; nb != nil && nb.addr == nextPC {
 		next = nb
 	}
+	if next == nil && tb.itab != nil {
+		if nb := tb.itab[nextPC&(indirectWays-1)]; nb != nil && nb.addr == nextPC {
+			next = nb
+			tb.takenBlk = nb // refresh the most-recent entry
+		}
+	}
 	if next == nil {
 		if next = e.lookup(nextPC); next != nil {
-			if takenEdge {
-				tb.takenBlk = next
-			} else {
-				tb.fallBlk = next
-			}
+			e.chain(tb, takenEdge, next)
 		}
 	}
 
@@ -813,12 +869,12 @@ func (e *Engine) postExec(nextPC int, halted bool) error {
 	// different path and gets no scheduling benefit.
 	if e.perf != nil {
 		switch {
-		case tb.frozen && e.curNode != nil && e.curNode.rb.Addr == tb.addr:
-			e.perf.ChargeOptimizedBlock(tb.costSum)
+		case tb.frozen && e.curNode != nil && e.curNode.addr == tb.addr:
+			e.perf.ChargeOptimizedBlock(int(tb.costSum))
 		case tb.frozen:
-			e.perf.ChargeOffTraceBlock(tb.costSum)
+			e.perf.ChargeOffTraceBlock(int(tb.costSum))
 		default:
-			e.perf.ChargeQuickBlock(tb.costSum)
+			e.perf.ChargeQuickBlock(int(tb.costSum))
 		}
 	}
 	if e.optimize {
@@ -845,14 +901,29 @@ func (e *Engine) postExec(nextPC int, halted bool) error {
 		if err != nil {
 			return err
 		}
-		if takenEdge {
-			tb.takenBlk = next
-		} else {
-			tb.fallBlk = next
-		}
+		e.chain(tb, takenEdge, next)
 	}
 	e.cur = next
 	return nil
+}
+
+// chain records next as the successor tb's fired edge reached, so the
+// next resolution of the same transfer skips the code-cache lookup.
+// Indirect terminators additionally file the target in their itab:
+// their single edge pointer churns whenever the data-driven target
+// alternates, and the table catches what the pointer evicts.
+func (e *Engine) chain(tb *tblock, takenEdge bool, next *tblock) {
+	if takenEdge {
+		tb.takenBlk = next
+	} else {
+		tb.fallBlk = next
+	}
+	if tb.indirect {
+		if tb.itab == nil {
+			tb.itab = new([indirectWays]*tblock)
+		}
+		tb.itab[next.addr&(indirectWays-1)] = next
+	}
 }
 
 // finish packages the snapshot and statistics of a completed run.
@@ -867,38 +938,22 @@ func (e *Engine) finish() (*profile.Snapshot, *RunStats, error) {
 }
 
 // Run executes the guest to completion and returns the profile snapshot
-// and run statistics.
+// and run statistics. Execution goes through the same specialized
+// batched loop RunMulti's driver uses (fillBatch in multi.go): the
+// fast/generic path choice is per block inside it, and the recorded
+// outcomes are simply discarded. Bit-for-bit equivalent to the
+// per-block preExec / exec / postExec sequence.
 func (e *Engine) Run() (*profile.Snapshot, *RunStats, error) {
 	if err := e.start(); err != nil {
 		return nil, nil, err
 	}
-	fast := e.fastPath
+	buf := make([]outcome, 0, replayBatch)
 	for {
-		tb := e.cur
-		if err := e.preExec(); err != nil {
-			return nil, nil, err
-		}
-
-		// Execute the block: pre-lowered records in steady state, the
-		// generic interp.Exec dispatch when forced or when the lowerer
-		// declined the block. Both paths are bit-for-bit equivalent.
-		var (
-			nextPC int
-			halted bool
-			err    error
-		)
-		if fast && tb.lowered {
-			nextPC, halted, err = e.execBlock(tb)
-		} else {
-			nextPC, halted, err = e.execBlockGeneric(tb)
-		}
+		_, done, err := e.fillBatch(buf[:0])
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := e.postExec(nextPC, halted); err != nil {
-			return nil, nil, err
-		}
-		if halted {
+		if done {
 			break
 		}
 	}

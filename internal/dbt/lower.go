@@ -7,13 +7,26 @@
 // flag; the terminator is lowered separately with its targets resolved
 // once at translate time.
 //
+// Lowered code is arena-flattened: all blocks of an engine share one
+// contiguous []lop arena, and each block's execution-hot state — its
+// arena span, terminator kind, branch registers and resolved targets —
+// lives in a packed record of the engine's flat block table (hot),
+// dense in translation order. Steady-state dispatch therefore walks two
+// dense arrays instead of pointer-chasing per-block heap objects: one
+// hot record plus the block's arena span, which for consecutively
+// translated (≈ consecutively executed) blocks are adjacent in memory.
+// Spans are {off,len} indexes, so arena growth (append reallocation)
+// never invalidates them, and translated blocks are never replaced, so
+// the arena only grows.
+//
 // The fast path is required to be bit-for-bit equivalent to the
 // reference interpreter. Semantics are copied verbatim from interp.Exec,
 // and every fault (memory bounds, call-stack depth, empty return stack)
 // is reported by re-executing the faulting instruction through
 // interp.Exec so the error value is exactly the interpreter's. The
 // generic path survives behind Config.DisableFastPath and is
-// cross-validated against the fast path by test.
+// cross-validated against the fast path by test (equivalence suite plus
+// the FuzzExecPaths random-program fuzzer).
 package dbt
 
 import (
@@ -57,8 +70,7 @@ type lop struct {
 	imm        int32
 }
 
-// tkind is the lowered terminator class. Branch targets live on the
-// tblock (takenTarget/fallTarget), resolved once at translate time.
+// tkind is the lowered terminator class.
 type tkind uint8
 
 const (
@@ -72,6 +84,23 @@ const (
 	tCall
 	tRet
 )
+
+// hotrec is one row of the engine's flat block table: every field the
+// lowered dispatch reads per block execution, packed into 24 bytes so
+// two blocks share a cache line. It is a packed record rather than
+// strict per-field columns because a dispatch reads every field of
+// exactly one block — splitting the fields across parallel arrays would
+// turn one cache-line touch into six.
+type hotrec struct {
+	off   uint32 // arena span start
+	n     uint32 // arena span length (body instructions)
+	taken int32  // resolved taken/jump/call target (-1 none)
+	fall  int32  // resolved fall-through target (-1 none)
+	end   int32  // terminator pc (halt result; call pushes end+1)
+	tkind tkind
+	brs   uint8 // terminator source registers, pre-masked by the decoder
+	brt   uint8
+}
 
 // lowerBodyKind maps a non-control opcode to its lowered form.
 func lowerBodyKind(op isa.Op) (lkind, bool) {
@@ -118,45 +147,62 @@ func lowerBodyKind(op isa.Op) (lkind, bool) {
 	return 0, false
 }
 
-// lower populates the block's pre-lowered body and terminator from its
-// decoded instructions and reports success. A block that cannot be
-// lowered (an opcode unknown to the lowerer) stays on the generic
-// interp.Exec path.
-func (tb *tblock) lower() bool {
-	body := tb.insts[:len(tb.insts)-1]
-	lops := make([]lop, len(body))
-	for i, in := range body {
-		k, ok := lowerBodyKind(in.Op)
-		if !ok {
-			return false
-		}
-		lops[i] = lop{kind: k, rd: in.Rd, rs: in.Rs, rt: in.Rt, imm: in.Imm}
-	}
-	term := tb.insts[len(tb.insts)-1]
-	switch term.Op {
+// lowerTermKind maps a terminator opcode to its lowered class.
+func lowerTermKind(op isa.Op) (tkind, bool) {
+	switch op {
 	case isa.OpHalt:
-		tb.tkind = tHalt
+		return tHalt, true
 	case isa.OpBeq:
-		tb.tkind = tBeq
+		return tBeq, true
 	case isa.OpBne:
-		tb.tkind = tBne
+		return tBne, true
 	case isa.OpBlt:
-		tb.tkind = tBlt
+		return tBlt, true
 	case isa.OpBge:
-		tb.tkind = tBge
+		return tBge, true
 	case isa.OpJmp:
-		tb.tkind = tJmp
+		return tJmp, true
 	case isa.OpJr:
-		tb.tkind = tJr
+		return tJr, true
 	case isa.OpCall:
-		tb.tkind = tCall
+		return tCall, true
 	case isa.OpRet:
-		tb.tkind = tRet
-	default:
+		return tRet, true
+	}
+	return 0, false
+}
+
+// lower appends the block's body to the engine's lowered-op arena and
+// fills its row of the flat block table, reporting success. A block
+// that cannot be lowered (an opcode unknown to the lowerer) leaves the
+// arena untouched and its table row zeroed; it stays on the generic
+// interp.Exec path.
+func (e *Engine) lower(tb *tblock) bool {
+	term := tb.insts[len(tb.insts)-1]
+	tk, ok := lowerTermKind(term.Op)
+	if !ok {
 		return false
 	}
-	tb.body = lops
-	tb.brs, tb.brt = term.Rs, term.Rt
+	body := tb.insts[:len(tb.insts)-1]
+	start := len(e.arena)
+	for _, in := range body {
+		k, ok := lowerBodyKind(in.Op)
+		if !ok {
+			e.arena = e.arena[:start]
+			return false
+		}
+		e.arena = append(e.arena, lop{kind: k, rd: in.Rd, rs: in.Rs, rt: in.Rt, imm: in.Imm})
+	}
+	e.hot[tb.id] = hotrec{
+		off:   uint32(start),
+		n:     uint32(len(body)),
+		taken: int32(tb.takenTarget),
+		fall:  int32(tb.fallTarget),
+		end:   int32(tb.end),
+		tkind: tk,
+		brs:   term.Rs,
+		brt:   term.Rt,
+	}
 	return true
 }
 
@@ -174,17 +220,21 @@ func (e *Engine) faultAt(tb *tblock, i int) error {
 }
 
 // execBlock executes the block body and terminator through the
-// pre-lowered fast path. Its contract matches running interp.Exec over
-// every instruction of the block: it returns the interpreter's next pc
-// and halt flag, and fault errors are the interpreter's own.
+// pre-lowered fast path: one flat-table row load, then a walk of the
+// block's contiguous arena span. Its contract matches running
+// interp.Exec over every instruction of the block: it returns the
+// interpreter's next pc and halt flag, and fault errors are the
+// interpreter's own.
 func (e *Engine) execBlock(tb *tblock) (nextPC int, halted bool, err error) {
+	h := &e.hot[tb.id]
 	st := e.st
 	r := &st.Regs
+	body := e.arena[h.off : h.off+h.n : h.off+h.n]
 	// Register fields come from a 4-bit encoding, so masking with 15 is
 	// a no-op semantically and lets the compiler elide the array bounds
 	// checks in the hot loop.
-	for i := 0; i < len(tb.body); i++ {
-		op := tb.body[i]
+	for i := 0; i < len(body); i++ {
+		op := body[i]
 		switch op.kind {
 		case lNop:
 		case lAdd:
@@ -233,47 +283,47 @@ func (e *Engine) execBlock(tb *tblock) (nextPC int, halted bool, err error) {
 			r[op.rd&15] = math.Float32bits(math.Float32frombits(r[op.rs&15]) / math.Float32frombits(r[op.rt&15]))
 		}
 	}
-	switch tb.tkind {
+	switch h.tkind {
 	case tBeq:
-		if r[tb.brs&15] == r[tb.brt&15] {
-			return tb.takenTarget, false, nil
+		if r[h.brs&15] == r[h.brt&15] {
+			return int(h.taken), false, nil
 		}
-		return tb.fallTarget, false, nil
+		return int(h.fall), false, nil
 	case tBne:
-		if r[tb.brs&15] != r[tb.brt&15] {
-			return tb.takenTarget, false, nil
+		if r[h.brs&15] != r[h.brt&15] {
+			return int(h.taken), false, nil
 		}
-		return tb.fallTarget, false, nil
+		return int(h.fall), false, nil
 	case tBlt:
-		if int32(r[tb.brs&15]) < int32(r[tb.brt&15]) {
-			return tb.takenTarget, false, nil
+		if int32(r[h.brs&15]) < int32(r[h.brt&15]) {
+			return int(h.taken), false, nil
 		}
-		return tb.fallTarget, false, nil
+		return int(h.fall), false, nil
 	case tBge:
-		if int32(r[tb.brs&15]) >= int32(r[tb.brt&15]) {
-			return tb.takenTarget, false, nil
+		if int32(r[h.brs&15]) >= int32(r[h.brt&15]) {
+			return int(h.taken), false, nil
 		}
-		return tb.fallTarget, false, nil
+		return int(h.fall), false, nil
 	case tJmp:
-		return tb.takenTarget, false, nil
+		return int(h.taken), false, nil
 	case tJr:
-		return int(r[tb.brs&15]), false, nil
+		return int(r[h.brs&15]), false, nil
 	case tCall:
 		if len(st.Ret) >= interp.MaxCallDepth {
-			return 0, false, e.faultAt(tb, len(tb.insts)-1)
+			return 0, false, e.faultAt(tb, int(h.n))
 		}
-		st.Ret = append(st.Ret, tb.end+1)
-		return tb.takenTarget, false, nil
+		st.Ret = append(st.Ret, int(h.end)+1)
+		return int(h.taken), false, nil
 	case tRet:
 		n := len(st.Ret)
 		if n == 0 {
-			return 0, false, e.faultAt(tb, len(tb.insts)-1)
+			return 0, false, e.faultAt(tb, int(h.n))
 		}
 		nextPC = st.Ret[n-1]
 		st.Ret = st.Ret[:n-1]
 		return nextPC, false, nil
 	default: // tHalt
-		return tb.end, true, nil
+		return int(h.end), true, nil
 	}
 }
 

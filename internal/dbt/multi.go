@@ -13,6 +13,21 @@
 // totals are bit-for-bit what a serial Run with the same Config would
 // have produced. Tests cross-validate this for every configuration
 // class.
+//
+// Replay is batched: the driver records (nextPC, halted) outcomes into
+// a fixed buffer of replayBatch entries, and each follower then drains
+// the whole batch in one tight specialized loop (drainBatch) that
+// reproduces the exact serial per-entry sequence (preExec, then
+// postExec), so nothing observable changes versus per-block
+// interleaving — counters, wave timing and interrupt-poll cadence are
+// all driven by each engine's own block count. What changes is locality: one follower's caches, counters and
+// region state stay hot across thousands of entries instead of 1+N
+// engines evicting each other every block. The only semantic skew is
+// error ordering across engines — the driver executes up to replayBatch
+// blocks ahead, so a driver-side fault at block k+j can surface before
+// a follower's budget/trap error at block k. Errored RunMulti results
+// are discarded wholesale by every caller, and in practice all configs
+// share TrapAfter/MaxBlockExecs, so the first error wins identically.
 package dbt
 
 import (
@@ -22,6 +37,18 @@ import (
 	"repro/internal/interp"
 	"repro/internal/profile"
 )
+
+// replayBatch is the outcome-buffer size of RunMulti's batched replay,
+// aligned with the interrupt-poll period so the driver's poll cadence
+// bounds how far execution runs ahead of follower bookkeeping.
+const replayBatch = interruptCheckMask + 1
+
+// outcome is one recorded architectural block outcome: everything a
+// follower needs to advance its profiling state machine past one block.
+type outcome struct {
+	nextPC int32
+	halted bool
+}
 
 // RunMulti executes the guest once and produces one profile snapshot
 // and one statistics record per configuration, as if each configuration
@@ -53,47 +80,30 @@ func RunMulti(img *guest.Image, tape interp.Tape, cfgs []Config) ([]*profile.Sna
 		engines[i] = e
 	}
 	driver := engines[0]
-	fast := driver.fastPath
 	for _, e := range engines {
 		if err := e.start(); err != nil {
 			return nil, nil, err
 		}
 	}
 	followers := engines[1:]
-	for {
-		// The driver's budget/interrupt check runs before the block
-		// does, exactly as in a serial run; each follower then advances
-		// through the identical accounting + bookkeeping sequence.
-		if err := driver.preExec(); err != nil {
-			return nil, nil, err
-		}
-		tb := driver.cur
-		var (
-			nextPC int
-			halted bool
-			err    error
-		)
-		if fast && tb.lowered {
-			nextPC, halted, err = driver.execBlock(tb)
-		} else {
-			nextPC, halted, err = driver.execBlockGeneric(tb)
-		}
+	buf := make([]outcome, 0, replayBatch)
+	done := false
+	for !done {
+		// Fill one batch: the driver's budget/interrupt check runs
+		// before each block, exactly as in a serial run.
+		var batch []outcome
+		var err error
+		batch, done, err = driver.fillBatch(buf[:0])
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := driver.postExec(nextPC, halted); err != nil {
-			return nil, nil, err
-		}
+		// Drain it through each follower: per entry the exact serial
+		// accounting + bookkeeping sequence, over thousands of entries
+		// per engine switch.
 		for _, e := range followers {
-			if err := e.preExec(); err != nil {
+			if err := e.drainBatch(batch); err != nil {
 				return nil, nil, err
 			}
-			if err := e.postExec(nextPC, halted); err != nil {
-				return nil, nil, err
-			}
-		}
-		if halted {
-			break
 		}
 	}
 	snaps := make([]*profile.Snapshot, len(engines))
@@ -102,4 +112,410 @@ func RunMulti(img *guest.Image, tape interp.Tape, cfgs []Config) ([]*profile.Sna
 		snaps[i], statss[i], _ = e.finish()
 	}
 	return snaps, statss, nil
+}
+
+// fillBatch executes the guest until the appended outcome batch reaches
+// its capacity, the guest halts (done=true), or the engine stops with an
+// error. It is the execution twin of drainBatch: the per-block
+// preExec / exec / postExec sequence of the serial run loop, inlined so
+// the block count, poll tick, sum counters and the block/region cursors
+// live in registers across the batch and are written back once. Both
+// the serial Run loop and RunMulti's driver use it — the serial caller
+// just discards the recorded outcomes.
+//
+// Any behavioural edit to preExec or postExec MUST be mirrored here and
+// in drainBatch; the serial-vs-follower equivalence tests and
+// FuzzExecPaths pin the contract bit-for-bit.
+func (e *Engine) fillBatch(batch []outcome) ([]outcome, bool, error) {
+	count := e.stats.BlocksExecuted
+	var instr, fastN, genN, polls uint64
+	budget, trapAfter, interrupt := e.budget, e.trapAfter, e.interrupt
+	fastPath, optimize, conv := e.fastPath, e.optimize, e.converge
+	perf := e.perf
+	cur := e.cur
+	curRegion, curNode := e.curRegion, e.curNode
+	done := false
+	kind := 0 // 0 clean, 1 budget, 2 trap, 3 raw error
+	var retErr error
+
+	for len(batch) < cap(batch) {
+		// preExec, inlined: count first, budget before trap, poll tick
+		// before the channel read — erroring paths flush the count they
+		// already incremented but never reach the later checks.
+		count++
+		if budget > 0 && count > budget {
+			kind = 1
+			break
+		}
+		if trapAfter > 0 && count >= trapAfter {
+			kind = 2
+			break
+		}
+		if count&interruptCheckMask == 0 {
+			polls++
+			if interrupt != nil {
+				if err := e.pollInterrupt(); err != nil {
+					kind, retErr = 3, err
+					break
+				}
+			}
+		}
+
+		tb := cur
+		var (
+			nextPC int
+			halted bool
+			err    error
+		)
+		if fastPath && tb.lowered {
+			nextPC, halted, err = e.execBlock(tb)
+		} else {
+			nextPC, halted, err = e.execBlockGeneric(tb)
+		}
+		if err != nil {
+			kind, retErr = 3, err
+			break
+		}
+
+		// postExec, inlined (same body as drainBatch's replay loop).
+		instr += uint64(tb.ninsts)
+		if fastPath && tb.lowered {
+			fastN++
+		} else {
+			genN++
+		}
+		takenEdge := !tb.hasBranch || nextPC == tb.takenTarget
+		if !tb.frozen {
+			tb.use++
+			e.profOps++
+			if tb.hasBranch && takenEdge {
+				tb.taken++
+				e.profOps++
+			}
+			if optimize {
+				var ready bool
+				if conv {
+					ready = e.shouldRegister(tb)
+				} else if tb.use == tb.nextRegister {
+					ready = true
+					tb.nextRegister += e.threshold
+				}
+				if ready && e.register(tb) {
+					e.optimizeWave()
+				}
+			}
+		}
+		var next *tblock
+		if takenEdge {
+			if nb := tb.takenBlk; nb != nil && nb.addr == nextPC {
+				next = nb
+			}
+		} else if nb := tb.fallBlk; nb != nil && nb.addr == nextPC {
+			next = nb
+		}
+		if next == nil && tb.itab != nil {
+			if nb := tb.itab[nextPC&(indirectWays-1)]; nb != nil && nb.addr == nextPC {
+				next = nb
+				tb.takenBlk = nb
+			}
+		}
+		if next == nil {
+			if next = e.lookup(nextPC); next != nil {
+				e.chain(tb, takenEdge, next)
+			}
+		}
+		if perf != nil {
+			switch {
+			case tb.frozen && curNode != nil && curNode.addr == tb.addr:
+				perf.ChargeOptimizedBlock(int(tb.costSum))
+			case tb.frozen:
+				perf.ChargeOffTraceBlock(int(tb.costSum))
+			default:
+				perf.ChargeQuickBlock(int(tb.costSum))
+			}
+		}
+		if optimize {
+			if rt := curRegion; rt != nil {
+				node := curNode
+				if node == nil || node.addr != tb.addr {
+					e.curRegion = rt
+					e.leaveRegion(false)
+					curRegion, curNode = nil, nil
+				} else {
+					var nn *rtNode
+					if takenEdge {
+						nn = node.taken
+					} else {
+						nn = node.fall
+					}
+					switch {
+					case nn == nil:
+						e.curRegion = rt
+						e.leaveRegion(rt.r.Kind == profile.RegionTrace && node == rt.last)
+						curRegion, curNode = nil, nil
+					case nn == rt.entry:
+						e.stats.RegionLoopBacks++
+						rt.loopBacks++
+						curNode = nn
+					default:
+						curNode = nn
+					}
+				}
+			}
+			if next != nil && curRegion == nil && next.regionEntry != nil {
+				curRegion = next.regionEntry
+				curRegion.entries++
+				curNode = curRegion.entry
+				e.stats.RegionEntries++
+			}
+		}
+
+		batch = append(batch, outcome{nextPC: int32(nextPC), halted: halted})
+		if halted {
+			e.halted = true
+			done = true
+			break
+		}
+		if next == nil {
+			next, err = e.translate(nextPC)
+			if err != nil {
+				kind, retErr = 3, err
+				break
+			}
+			e.chain(tb, takenEdge, next)
+		}
+		cur = next
+	}
+
+	// Flush, then materialize any stop error: trapped() formats the
+	// flushed block count into its message.
+	e.cur = cur
+	e.curRegion, e.curNode = curRegion, curNode
+	e.stats.BlocksExecuted = count
+	e.stats.InterruptPolls += polls
+	e.stats.Instructions += instr
+	e.stats.FastDispatches += fastN
+	e.stats.GenericDispatches += genN
+	switch kind {
+	case 1:
+		return batch, false, e.budgetExhausted()
+	case 2:
+		return batch, false, e.trapped()
+	case 3:
+		return batch, false, retErr
+	}
+	return batch, done, nil
+}
+
+// drainBatch replays one recorded batch through a follower engine,
+// producing exactly the state the per-entry preExec/postExec sequence
+// would. It is the study's hottest loop — one call per follower per
+// 4096 blocks instead of two calls per follower per block — so the
+// serial code path is restructured, never changed:
+//
+//   - budget/trap checks compare the block count against fixed values,
+//     so the first entry (if any) whose preExec would error is computed
+//     up front, in the serial order (count first, budget before trap);
+//   - the interrupt-poll counter ticks on 4096-boundary crossings of
+//     the block count, so a batch's ticks are pure arithmetic (follower
+//     channels are stripped by RunMulti, so there is nothing to poll —
+//     an engine with a live channel takes the per-entry path instead);
+//   - the pure-sum counters (instructions, dispatch split, block count)
+//     accumulate in locals flushed on every exit path, and the postExec
+//     state machine is inlined so engine-invariant fields stay in
+//     registers across the batch.
+//
+// Any behavioural edit to preExec or postExec MUST be mirrored here;
+// the serial-vs-follower equivalence tests and FuzzExecPaths pin the
+// contract bit-for-bit.
+func (e *Engine) drainBatch(batch []outcome) error {
+	if e.interrupt != nil {
+		for _, o := range batch {
+			if err := e.preExec(); err != nil {
+				return err
+			}
+			if err := e.postExec(int(o.nextPC), o.halted); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	start := e.stats.BlocksExecuted
+	n := uint64(len(batch))
+	stop, errKind := n, 0 // errKind: 0 clean, 1 budget, 2 trap
+	if e.budget > 0 && start+n > e.budget {
+		stop, errKind = e.budget-start, 1
+	}
+	if e.trapAfter > 0 {
+		var at uint64
+		if e.trapAfter > start {
+			at = e.trapAfter - start - 1
+		}
+		if at < stop {
+			stop, errKind = at, 2
+		}
+	}
+
+	// The sum counters accumulate in locals and the cursor stays in a
+	// register; both are written back in the single flush block below.
+	// No closure: captured accumulators would be forced into memory and
+	// cost a load/store per entry.
+	var instr, fastN, genN uint64
+	processed := stop
+	var retErr error
+	fastPath, optimize, conv := e.fastPath, e.optimize, e.converge
+	perf := e.perf
+	cur := e.cur
+	// The region cursor also lives in locals across the batch: it is read
+	// on every entry (the perf charge class tests it) but leaves a region
+	// rarely. leaveRegion is the one callee that touches the engine
+	// fields, so the cold paths sync e.curRegion before the call and null
+	// the locals after; the flush writes the final cursor back.
+	curRegion, curNode := e.curRegion, e.curNode
+	for i := uint64(0); i < stop; i++ {
+		o := batch[i]
+		nextPC := int(o.nextPC)
+		tb := cur
+		instr += uint64(tb.ninsts)
+		if fastPath && tb.lowered {
+			fastN++
+		} else {
+			genN++
+		}
+
+		takenEdge := !tb.hasBranch || nextPC == tb.takenTarget
+
+		if !tb.frozen {
+			tb.use++
+			e.profOps++
+			if tb.hasBranch && takenEdge {
+				tb.taken++
+				e.profOps++
+			}
+			if optimize {
+				var ready bool
+				if conv {
+					ready = e.shouldRegister(tb)
+				} else if tb.use == tb.nextRegister {
+					ready = true
+					tb.nextRegister += e.threshold
+				}
+				if ready && e.register(tb) {
+					e.optimizeWave()
+				}
+			}
+		}
+
+		var next *tblock
+		if takenEdge {
+			if nb := tb.takenBlk; nb != nil && nb.addr == nextPC {
+				next = nb
+			}
+		} else if nb := tb.fallBlk; nb != nil && nb.addr == nextPC {
+			next = nb
+		}
+		if next == nil && tb.itab != nil {
+			if nb := tb.itab[nextPC&(indirectWays-1)]; nb != nil && nb.addr == nextPC {
+				next = nb
+				tb.takenBlk = nb
+			}
+		}
+		if next == nil {
+			if next = e.lookup(nextPC); next != nil {
+				e.chain(tb, takenEdge, next)
+			}
+		}
+
+		if perf != nil {
+			switch {
+			case tb.frozen && curNode != nil && curNode.addr == tb.addr:
+				perf.ChargeOptimizedBlock(int(tb.costSum))
+			case tb.frozen:
+				perf.ChargeOffTraceBlock(int(tb.costSum))
+			default:
+				perf.ChargeQuickBlock(int(tb.costSum))
+			}
+		}
+		if optimize {
+			if rt := curRegion; rt != nil {
+				// trackRegion, inlined: advance the cursor along the
+				// fired edge; leaving the region is the cold path.
+				node := curNode
+				if node == nil || node.addr != tb.addr {
+					e.curRegion = rt
+					e.leaveRegion(false)
+					curRegion, curNode = nil, nil
+				} else {
+					var nn *rtNode
+					if takenEdge {
+						nn = node.taken
+					} else {
+						nn = node.fall
+					}
+					switch {
+					case nn == nil:
+						e.curRegion = rt
+						e.leaveRegion(rt.r.Kind == profile.RegionTrace && node == rt.last)
+						curRegion, curNode = nil, nil
+					case nn == rt.entry:
+						e.stats.RegionLoopBacks++
+						rt.loopBacks++
+						curNode = nn
+					default:
+						curNode = nn
+					}
+				}
+			}
+			if next != nil && curRegion == nil && next.regionEntry != nil {
+				curRegion = next.regionEntry
+				curRegion.entries++
+				curNode = curRegion.entry
+				e.stats.RegionEntries++
+			}
+		}
+
+		if o.halted {
+			// A halt is always the batch's final entry, so no budget or
+			// trap stop can sit beyond it: fall through to the flush.
+			e.halted = true
+			processed = i + 1
+			break
+		}
+		if next == nil {
+			var err error
+			next, err = e.translate(nextPC)
+			if err != nil {
+				processed, retErr = i+1, err
+				break
+			}
+			e.chain(tb, takenEdge, next)
+		}
+		cur = next
+	}
+	// Flush: processed entries are the fully pre-counted blocks; an
+	// erroring preExec increments the block count afterwards but never
+	// reaches the poll tick, exactly like preExec's early returns.
+	const period = uint64(interruptCheckMask + 1)
+	e.cur = cur
+	e.curRegion, e.curNode = curRegion, curNode
+	e.stats.Instructions += instr
+	e.stats.FastDispatches += fastN
+	e.stats.GenericDispatches += genN
+	e.stats.BlocksExecuted = start + processed
+	e.stats.InterruptPolls += (start+processed)/period - start/period
+	if retErr != nil {
+		return retErr
+	}
+	if processed == stop {
+		switch errKind {
+		case 1:
+			e.stats.BlocksExecuted++
+			return e.budgetExhausted()
+		case 2:
+			e.stats.BlocksExecuted++
+			return e.trapped()
+		}
+	}
+	return nil
 }

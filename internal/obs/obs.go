@@ -75,6 +75,14 @@ type Event struct {
 	// Blocks is the dynamic block-execution volume of run spans
 	// (summed over every profiling context the span advanced).
 	Blocks uint64 `json:"blocks,omitempty"`
+	// Hot-loop engine counters of executed run spans, summed like
+	// Blocks: the fast/generic dispatch split and translation-cache
+	// probes (see dbt.RunStats). Optional — cached or non-run spans
+	// carry none, and traces recorded before these fields existed still
+	// parse (absent means zero).
+	Fast    uint64 `json:"fast,omitempty"`
+	Generic uint64 `json:"generic,omitempty"`
+	Lookups uint64 `json:"lookups,omitempty"`
 	// Err carries the unit's error verbatim when it failed.
 	Err string `json:"err,omitempty"`
 }
@@ -187,6 +195,15 @@ func (r *Recorder) Emit(ev Event) {
 // Record emits a completed span, translating the absolute start time to
 // the recorder's timeline. A non-nil unit error is carried verbatim.
 func (r *Recorder) Record(bench, unit string, t uint64, worker int, start time.Time, dur time.Duration, blocks uint64, err error) {
+	r.RecordEvent(Event{Bench: bench, Unit: unit, T: t, Worker: worker, Blocks: blocks}, start, dur, err)
+}
+
+// RecordEvent is Record for callers that fill optional Event fields
+// (the hot-loop counters of run spans): the identity and counter fields
+// of ev are taken as given, its timeline fields are computed from
+// start/dur against the recorder's epoch, and a non-nil unit error is
+// carried verbatim.
+func (r *Recorder) RecordEvent(ev Event, start time.Time, dur time.Duration, err error) {
 	if r == nil {
 		return
 	}
@@ -194,15 +211,8 @@ func (r *Recorder) Record(bench, unit string, t uint64, worker int, start time.T
 	if startNS < 0 {
 		startNS = 0
 	}
-	ev := Event{
-		Bench:   bench,
-		Unit:    unit,
-		T:       t,
-		Worker:  worker,
-		StartNS: startNS,
-		DurNS:   dur.Nanoseconds(),
-		Blocks:  blocks,
-	}
+	ev.StartNS = startNS
+	ev.DurNS = dur.Nanoseconds()
 	if err != nil {
 		ev.Err = err.Error()
 	}

@@ -36,10 +36,15 @@ import (
 	"repro/internal/atomicio"
 )
 
-// SchemaVersion is bumped whenever the serialized shape of any cached
-// value changes. A version mismatch is a miss: the entry is ignored
-// and rewritten by the re-executed unit, never reinterpreted.
-const SchemaVersion = 1
+// SchemaVersion is bumped whenever the serialized shape — or the
+// meaning — of any cached value changes. A version mismatch is a miss:
+// the entry is ignored and rewritten by the re-executed unit, never
+// reinterpreted.
+//
+// v2: RunStats.CacheLookups semantics changed (the indirect-target
+// table resolves jr/ret successors without a code-cache probe), so v1
+// entries' stats would fail -cacheverify against a fresh run.
+const SchemaVersion = 2
 
 // Key identifies one cached unit output. Every field participates in
 // the canonical fingerprint; the zero value is not a usable key (Lookup

@@ -2,6 +2,7 @@ package resultcache
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -252,7 +253,8 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 			return out
 		}},
 		{"wrong-version", func(d []byte) []byte {
-			return []byte(strings.Replace(string(d), `{"schema":1,`, `{"schema":999,`, 1))
+			cur := fmt.Sprintf(`{"schema":%d,`, SchemaVersion)
+			return []byte(strings.Replace(string(d), cur, `{"schema":999,`, 1))
 		}},
 		{"wrong-key", func(d []byte) []byte {
 			return []byte(strings.Replace(string(d), "bench=gzip", "bench=mcf", 1))

@@ -21,6 +21,14 @@ type perfTotals struct {
 	unitFailures   uint64
 	unitRetries    uint64
 	resumedSeries  uint64
+	// Hot-loop engine counters (see dbt.RunStats): the fast/generic
+	// dispatch split, translation-cache probes, and the wall-clock the
+	// jobs spent inside run units — the denominator of the exported
+	// blocks-per-second gauge.
+	fastDispatches    uint64
+	genericDispatches uint64
+	cacheLookups      uint64
+	runSeconds        float64
 }
 
 // recordJobPerf folds one finished job's Perf into the totals.
@@ -33,6 +41,10 @@ func (s *Server) recordJobPerf(p study.Perf) {
 	t.unitFailures += uint64(p.UnitFailures)
 	t.unitRetries += uint64(p.UnitRetries)
 	t.resumedSeries += uint64(p.ResumedSeries)
+	t.fastDispatches += p.FastDispatches
+	t.genericDispatches += p.GenericDispatches
+	t.cacheLookups += p.CacheLookups
+	t.runSeconds += p.RefRunSeconds + p.TrainSeconds
 	t.mu.Unlock()
 }
 
@@ -71,6 +83,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.perf.mu.Lock()
 	jobs, wall, blocks := s.perf.jobs, s.perf.wallSeconds, s.perf.blocksExecuted
 	fails, retries, resumed := s.perf.unitFailures, s.perf.unitRetries, s.perf.resumedSeries
+	fast, generic, lookups := s.perf.fastDispatches, s.perf.genericDispatches, s.perf.cacheLookups
+	runSecs := s.perf.runSeconds
 	s.perf.mu.Unlock()
 	counter("inipd_study_jobs_finished_total", "study jobs completed by this process", jobs)
 	counter("inipd_study_wall_seconds_total", "summed wall-clock of finished study jobs", fmt.Sprintf("%.3f", wall))
@@ -78,6 +92,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("inipd_study_unit_failures_total", "absorbed unit failures across finished jobs", fails)
 	counter("inipd_study_unit_retries_total", "unit retry attempts across finished jobs", retries)
 	counter("inipd_study_resumed_series_total", "benchmark series restored from checkpoints instead of re-executed", resumed)
+	counter("inipd_study_fast_dispatches_total", "blocks executed through the pre-lowered arena fast path", fast)
+	counter("inipd_study_generic_dispatches_total", "blocks executed through the generic interp dispatch", generic)
+	counter("inipd_study_cache_lookups_total", "translation-cache probes (successor threading keeps this below the block count)", lookups)
+	bps := 0.0
+	if runSecs > 0 {
+		bps = float64(blocks) / runSecs
+	}
+	gauge("inipd_study_blocks_per_second", "hot-loop throughput: guest blocks over run-unit wall-clock of finished jobs", fmt.Sprintf("%.1f", bps))
 
 	states := map[JobState]int{}
 	for _, rec := range s.jobs.list() {

@@ -373,9 +373,23 @@ func TestStudyJobLifecycle(t *testing.T) {
 		"inipd_study_jobs_finished_total 1",
 		`inipd_jobs{state="done"} 1`,
 		"inipd_study_guest_blocks_total",
+		"inipd_study_fast_dispatches_total",
+		"inipd_study_generic_dispatches_total",
+		"inipd_study_cache_lookups_total",
+		"inipd_study_blocks_per_second",
 	} {
 		if !strings.Contains(string(mtext), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, mtext)
+		}
+	}
+	// A finished study executed real blocks, so the hot-loop exports
+	// must be live, not zero.
+	for _, line := range strings.Split(string(mtext), "\n") {
+		if v, ok := strings.CutPrefix(line, "inipd_study_fast_dispatches_total "); ok && v == "0" {
+			t.Fatalf("fast dispatches exported as zero after a finished job:\n%s", mtext)
+		}
+		if v, ok := strings.CutPrefix(line, "inipd_study_blocks_per_second "); ok && v == "0.0" {
+			t.Fatalf("blocks/s exported as zero after a finished job:\n%s", mtext)
 		}
 	}
 
