@@ -104,6 +104,23 @@ grep -q ' 0 misses, 0 stores, 0 errors$' "$tmpdir/warm.err"
     -cacheverify > "$tmpdir/verify-figs.txt" 2> /dev/null
 cmp "$tmpdir/cold-figs.txt" "$tmpdir/verify-figs.txt"
 
+echo "== predictor smoke (-race) =="
+# The predictor zoo rides the replayed reference trace as a read-only
+# observer: two identical runs must report identical mispredict rates
+# (figp1/figp2 byte-for-byte), and enabling predictors must not move a
+# single byte of the paper figures.
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -predictors all \
+    -fig figp1,figp2 > "$tmpdir/pred1.txt"
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -predictors all \
+    -fig figp1,figp2 > "$tmpdir/pred2.txt"
+cmp "$tmpdir/pred1.txt" "$tmpdir/pred2.txt"
+grep -q "perceptron" "$tmpdir/pred1.txt"
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -predictors all \
+    -fig fig8 > "$tmpdir/fig8-pred.txt"
+# full.txt is the kill-and-resume smoke's uninterrupted fig8 run of the
+# same configuration without predictors.
+cmp "$tmpdir/full.txt" "$tmpdir/fig8-pred.txt"
+
 echo "== perf smoke =="
 # Hot-loop throughput gate against the committed floors in
 # BENCH_floor.json (see its comment for how the baselines were chosen:
@@ -280,5 +297,6 @@ go test -run='^$' -fuzz='^FuzzImageLoad$' -fuzztime=10s ./internal/guest/
 go test -run='^$' -fuzz='^FuzzFaultSpec$' -fuzztime=10s ./internal/faultinject/
 go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s ./internal/study/
 go test -run='^$' -fuzz='^FuzzExecPaths$' -fuzztime=10s ./internal/dbt/
+go test -run='^$' -fuzz='^FuzzPredictReplay$' -fuzztime=10s ./internal/dbt/
 
 echo "CI OK"

@@ -19,6 +19,7 @@
 //	inipstudy -failpolicy degrade -retry 3       # survive benchmark failures
 //	inipstudy -cache results.cache               # memoize unit results on disk
 //	inipstudy -cache results.cache -cacheverify  # differential cache self-check
+//	inipstudy -predictors all                    # dynamic-predictor zoo (figp1/figp2)
 //
 // The default scale of 1.0 runs the paper's actual threshold ladder
 // 100..4M (a few minutes); -scale 0.1 gives a quick low-resolution pass.
@@ -45,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/resultcache"
 	"repro/internal/spec"
 	"repro/internal/study"
@@ -227,6 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stopAfter    = fs.Int("stopafter", 0, "stop gracefully after this many benchmark completions (testing hook for resume)")
 		cacheDir     = fs.String("cache", "", "memoize unit results in this content-addressed directory; a warm rerun of an unchanged study executes zero guest blocks")
 		cacheVerify  = fs.Bool("cacheverify", false, "execute every unit despite cache hits and hard-error if a cached value diverges (requires -cache)")
+		predictors   = fs.String("predictors", "", "comma-separated dynamic branch predictors to run over each reference trace (taken,nottaken,1bit,2bit,gshare,perceptron or 'all'); adds figp1/figp2 without touching the paper figures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -316,6 +319,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg.Policy = pol
+	preds, perr := predict.ParseList(*predictors)
+	if perr != nil {
+		fmt.Fprintf(stderr, "inipstudy: %v\n", perr)
+		return 2
+	}
+	cfg.Predictors = preds
 	if *cacheVerify && *cacheDir == "" {
 		fmt.Fprintln(stderr, "inipstudy: -cacheverify requires -cache")
 		return 2

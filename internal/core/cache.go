@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/dbt"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/profile"
 	"repro/internal/resultcache"
 )
@@ -66,6 +68,14 @@ type cmpEntry struct {
 type trainCmpEntry struct {
 	Train        metrics.Summary `json:"train"`
 	TrainRegions metrics.Summary `json:"train_regions"`
+}
+
+// bpEntry is the cached output of the dynamic-predictor observers over
+// the reference trace: one tally per requested predictor, in request
+// order. The trace is fully determined by image and tape, so the entry
+// is threshold-independent and shared across ladder shapes.
+type bpEntry struct {
+	Results []predict.Result `json:"results"`
 }
 
 // cacheUsable reports whether this benchmark's units may consult the
@@ -185,6 +195,28 @@ func (b *benchRun) refCacheKey(imgHash string, cfgs []dbt.Config) resultcache.Ke
 		engines = append(engines, cfg.Fingerprint()...)
 	}
 	return b.cacheKey("ref", imgHash, b.t.TapeID("ref"), string(engines), 0)
+}
+
+// bpEntryMatches sanity-checks a decoded predictor entry against the
+// requested predictor list; a mismatch is treated as a miss.
+func bpEntryMatches(ent *bpEntry, names []string) bool {
+	if len(ent.Results) != len(names) {
+		return false
+	}
+	for i, r := range ent.Results {
+		if r.Predictor != names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bpCacheKey keys the predictor tallies over the reference trace. The
+// engine component is the predictor list — the trace itself does not
+// depend on any translator configuration, only on image and tape.
+func (b *benchRun) bpCacheKey(imgHash string) resultcache.Key {
+	return b.cacheKey("bp", imgHash, b.t.TapeID("ref"),
+		"predictors="+strings.Join(b.opts.Predictors, ","), 0)
 }
 
 // runCacheKey keys one profiled execution (train, or an independent

@@ -22,6 +22,7 @@ import (
 	"repro/internal/navep"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
+	"repro/internal/predict"
 	"repro/internal/profile"
 	"repro/internal/region"
 	"repro/internal/resultcache"
@@ -115,6 +116,12 @@ type Options struct {
 	// stream once per threshold — so this is a cross-check and
 	// measurement knob.
 	IndependentRuns bool
+	// Predictors names the dynamic branch predictors (internal/predict)
+	// to drive off the reference trace as read-only observers: the
+	// guest still executes once and profiling counters are untouched.
+	// Empty runs no predictors, and every existing output is
+	// byte-identical to a run without the field.
+	Predictors []string
 	// Workers bounds RunBenchmark's own scheduler when it is not given
 	// one (default GOMAXPROCS).
 	Workers int
@@ -245,6 +252,11 @@ type BenchmarkResult struct {
 	TrainOps uint64
 	// Results holds one entry per threshold, in ladder order.
 	Results []ThresholdResult
+	// Predictors holds one accuracy tally per requested dynamic
+	// predictor, in Options.Predictors order. The branch stream is the
+	// reference trace, so the tallies are threshold-independent and
+	// identical across worker counts and dispatch paths.
+	Predictors []predict.Result
 	// Failures lists the units that failed permanently under the Degrade
 	// policy, in completion order (callers that need a stable order sort
 	// by unit and threshold). Empty on a clean run; under FailFast the
@@ -619,6 +631,44 @@ func (b *benchRun) retireTrainCompareOnce() {
 	}
 }
 
+// suiteObserver adapts a predict.Suite to the dbt trace observer: one
+// Record call per resolved conditional branch, in architectural order.
+type suiteObserver struct{ suite *predict.Suite }
+
+func (o suiteObserver) ObserveBranches(evs []dbt.BranchEvent) {
+	for _, ev := range evs {
+		o.suite.Record(ev.PC, ev.Taken)
+	}
+}
+
+// newPredictSuite builds the requested predictor set and its trace
+// observer. Unknown names are a unit error here — study.Config and the
+// flag layer validate earlier, so this guards direct API use.
+func newPredictSuite(names []string) (*predict.Suite, []dbt.TraceObserver, error) {
+	if len(names) == 0 {
+		return nil, nil, nil
+	}
+	suite, err := predict.NewSuite(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	return suite, []dbt.TraceObserver{suiteObserver{suite}}, nil
+}
+
+// settlePredictors publishes the predictor tallies of a cold reference
+// run and settles their cache entry (store on miss, differential check
+// on a verify-mode hit). No-op without predictors.
+func (b *benchRun) settlePredictors(suite *predict.Suite, useCache, bpHit bool, bpKey resultcache.Key, bpCached bpEntry, worker int) error {
+	if suite == nil {
+		return nil
+	}
+	b.out.Predictors = suite.Results()
+	if useCache {
+		return b.cacheSettle(bpKey, bpHit, bpEntry{Results: b.out.Predictors}, bpCached, worker)
+	}
+	return nil
+}
+
 // refUnit produces the AVEP snapshot (and, in shared-trace mode, every
 // INIP(T) snapshot alongside it), then fans out the comparison units.
 func (b *benchRun) refUnit(worker int) error {
@@ -640,6 +690,20 @@ func (b *benchRun) refBody(worker int) error {
 		b.refImgHash = img.ContentHash()
 	}
 
+	// Dynamic predictors observe the reference trace; their tally is
+	// threshold-independent and lives under its own cache entry, so a
+	// warm rerun replays it without executing a guest block. A bp miss
+	// with a warm reference entry falls back to the cold path — the
+	// trace must be re-executed once to feed the predictors.
+	preds := b.opts.Predictors
+	var bpKey resultcache.Key
+	var bpCached bpEntry
+	bpHit := false
+	if useCache && len(preds) > 0 {
+		bpKey = b.bpCacheKey(b.refImgHash)
+		bpHit = b.cacheLookup(bpKey, &bpCached, worker) && bpEntryMatches(&bpCached, preds)
+	}
+
 	avepCfg := b.dbtConfig("ref", 0, false)
 	if b.opts.IndependentRuns {
 		var key resultcache.Key
@@ -649,11 +713,32 @@ func (b *benchRun) refBody(worker int) error {
 			key = b.runCacheKey(b.refImgHash, "ref", avepCfg)
 			hit = b.cacheLookup(key, &cached, worker) && cached.Snapshot != nil
 		}
-		if hit && !b.opts.CacheVerify {
+		if hit && (len(preds) == 0 || bpHit) && !b.opts.CacheVerify {
+			if len(preds) > 0 {
+				b.out.Predictors = bpCached.Results
+			}
 			b.recordAVEP(cached.Snapshot, cached.Cycles)
 		} else {
+			suite, observers, err := newPredictSuite(preds)
+			if err != nil {
+				return err
+			}
 			start = time.Now()
-			avep, stats, err := dbt.Run(img, tape, avepCfg)
+			var avep *profile.Snapshot
+			var stats *dbt.RunStats
+			if suite == nil {
+				avep, stats, err = dbt.Run(img, tape, avepCfg)
+			} else {
+				// Single-config RunMulti is the same driver loop as
+				// dbt.Run — snapshots and stats are bit-identical —
+				// with the branch stream exposed to the observers.
+				var snaps []*profile.Snapshot
+				var statss []*dbt.RunStats
+				snaps, statss, err = dbt.RunMultiObserved(img, tape, []dbt.Config{avepCfg}, observers)
+				if err == nil {
+					avep, stats = snaps[0], statss[0]
+				}
+			}
 			if err != nil {
 				err = fmt.Errorf("core: AVEP run of %s: %w", b.t.Name, err)
 				b.record(obs.UnitRef, 0, worker, start, 0, err)
@@ -666,6 +751,9 @@ func (b *benchRun) refBody(worker int) error {
 				if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
 					return err
 				}
+			}
+			if err := b.settlePredictors(suite, useCache, bpHit, bpKey, bpCached, worker); err != nil {
+				return err
 			}
 			b.recordAVEP(avep, cyclesOf(avepCfg))
 		}
@@ -699,18 +787,25 @@ func (b *benchRun) refBody(worker int) error {
 			key = b.refCacheKey(b.refImgHash, cfgs)
 			hit = b.cacheLookup(key, &cached, worker) && refEntryMatches(&cached, cfgs)
 		}
-		if hit && !b.opts.CacheVerify {
+		if hit && (len(preds) == 0 || bpHit) && !b.opts.CacheVerify {
 			// Warm path: replay the whole reference bundle without
 			// executing a single guest block. addRunStats is deliberately
 			// not called — a fully cached benchmark reports zero blocks.
+			if len(preds) > 0 {
+				b.out.Predictors = bpCached.Results
+			}
 			b.recordAVEP(cached.AVEP, cached.AVEPCycles)
 			for j := range rungs {
 				idxs, ro := rungs[j], cached.Runs[j]
 				b.s.GoW(func(w int) error { return b.compareUnit(idxs, ro, w) })
 			}
 		} else {
+			suite, observers, err := newPredictSuite(preds)
+			if err != nil {
+				return err
+			}
 			start = time.Now()
-			snaps, stats, err := dbt.RunMulti(img, tape, cfgs)
+			snaps, stats, err := dbt.RunMultiObserved(img, tape, cfgs, observers)
 			if err != nil {
 				err = fmt.Errorf("core: reference runs of %s: %w", b.t.Name, err)
 				b.record(obs.UnitRef, 0, worker, start, 0, err)
@@ -730,6 +825,9 @@ func (b *benchRun) refBody(worker int) error {
 				if err := b.cacheSettle(key, hit, computed, cached, worker); err != nil {
 					return err
 				}
+			}
+			if err := b.settlePredictors(suite, useCache, bpHit, bpKey, bpCached, worker); err != nil {
+				return err
 			}
 			b.recordAVEP(snaps[0], cyclesOf(avepCfg))
 			for j := range rungs {

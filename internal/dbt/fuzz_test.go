@@ -215,3 +215,108 @@ func TestExecPathsRandom(t *testing.T) {
 		checkExecPaths(t, data)
 	}
 }
+
+// branchLog records the observed branch stream (what predictors
+// consume) for differential comparison across dispatch paths.
+type branchLog struct {
+	events []BranchEvent
+}
+
+func (l *branchLog) ObserveBranches(evs []BranchEvent) {
+	l.events = append(l.events, evs...)
+}
+
+// checkPredictReplay runs one random program under both dispatch paths
+// with a trace observer attached and asserts the observed branch
+// streams are identical — the determinism contract every dynamic
+// predictor's tallies rest on. The observed run must also leave
+// snapshots and stats exactly as an unobserved run would.
+func checkPredictReplay(t *testing.T, data []byte) {
+	img := buildFuzzProgram(data)
+	if img == nil {
+		return
+	}
+	run := func(disableFast, observed bool) (*branchLog, []*RunStats, string) {
+		cfg := Config{
+			Input:           "ref",
+			Optimize:        true,
+			Threshold:       8,
+			PoolTrigger:     2,
+			RegisterTwice:   true,
+			MaxBlockExecs:   20_000,
+			DisableFastPath: disableFast,
+		}
+		log := &branchLog{}
+		var obs []TraceObserver
+		if observed {
+			obs = []TraceObserver{log}
+		}
+		_, stats, err := RunMultiObserved(img, interp.NewUniformTape("fuzz/ref"), []Config{cfg}, obs)
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		return log, stats, msg
+	}
+
+	fastLog, fastStats, fastErr := run(false, true)
+	genLog, _, genErr := run(true, true)
+	if fastErr != genErr {
+		t.Fatalf("fault mismatch:\nfast: %q\ngeneric: %q\nprogram:\n%s", fastErr, genErr, img.Disassemble())
+	}
+	if !reflect.DeepEqual(fastLog.events, genLog.events) {
+		t.Fatalf("branch streams diverge between dispatch paths (%d vs %d events)\nprogram:\n%s",
+			len(fastLog.events), len(genLog.events), img.Disassemble())
+	}
+
+	// Observation must be invisible: an unobserved run of the same
+	// program reports identical stats.
+	_, plainStats, plainErr := run(false, false)
+	if plainErr != fastErr {
+		t.Fatalf("observer changed the run's fault: %q vs %q", plainErr, fastErr)
+	}
+	if fastErr == "" && !reflect.DeepEqual(fastStats, plainStats) {
+		t.Fatalf("observer perturbed run stats:\nobserved: %+v\nplain: %+v", fastStats[0], plainStats[0])
+	}
+	if fastErr != "" {
+		return
+	}
+
+	// Every observed event must reference a branch block, and the
+	// stream must be consistent with the run's block count.
+	if n := fastStats[0].BlocksExecuted; uint64(len(fastLog.events)) > n {
+		t.Fatalf("%d branch events exceed %d executed blocks", len(fastLog.events), n)
+	}
+}
+
+// FuzzPredictReplay is the differential fuzz target for the predictor
+// observation layer, alongside FuzzExecPaths: any byte stream builds
+// some program, and the branch stream predictors consume must be
+// bit-identical across dispatch paths and invisible to the run itself.
+func FuzzPredictReplay(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{3, 5, 0, 1, 2, 3, 4, 5, 6, 7, 250, 1, 9, 9, 30, 40})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 8; i++ {
+		seed := make([]byte, 8+rng.Intn(56))
+		rng.Read(seed)
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		checkPredictReplay(t, data)
+	})
+}
+
+// TestPredictReplayRandom pins the replay differential on 300 seeded
+// random programs in every plain `go test`.
+func TestPredictReplayRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		data := make([]byte, 4+rng.Intn(120))
+		rng.Read(data)
+		checkPredictReplay(t, data)
+	}
+}

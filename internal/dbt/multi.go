@@ -59,6 +59,15 @@ type outcome struct {
 // does — they may differ in profiling settings (Threshold, Optimize,
 // Perf, adaptive/convergence knobs) but not in anything architectural.
 func RunMulti(img *guest.Image, tape interp.Tape, cfgs []Config) ([]*profile.Snapshot, []*RunStats, error) {
+	return runMulti(img, tape, cfgs, nil)
+}
+
+// runMulti is the shared body of RunMulti and RunMultiObserved. With
+// observers, each filled batch is additionally walked for resolved
+// conditional branches (see observe.go) before the followers drain it;
+// the walk reads only recorded outcomes and static block properties, so
+// execution, profiling and statistics are untouched by it.
+func runMulti(img *guest.Image, tape interp.Tape, cfgs []Config, observers []TraceObserver) ([]*profile.Snapshot, []*RunStats, error) {
 	if len(cfgs) == 0 {
 		return nil, nil, fmt.Errorf("dbt: RunMulti needs at least one config")
 	}
@@ -87,15 +96,28 @@ func RunMulti(img *guest.Image, tape interp.Tape, cfgs []Config) ([]*profile.Sna
 	}
 	followers := engines[1:]
 	buf := make([]outcome, 0, replayBatch)
+	var events []BranchEvent
+	if len(observers) > 0 {
+		events = make([]BranchEvent, 0, replayBatch)
+	}
 	done := false
 	for !done {
 		// Fill one batch: the driver's budget/interrupt check runs
-		// before each block, exactly as in a serial run.
+		// before each block, exactly as in a serial run. The batch's
+		// first block is the driver's cursor, which the observer walk
+		// needs before fillBatch advances it.
+		startPC := driver.cur.addr
 		var batch []outcome
 		var err error
 		batch, done, err = driver.fillBatch(buf[:0])
 		if err != nil {
 			return nil, nil, err
+		}
+		if len(observers) > 0 {
+			events = appendBranchEvents(events[:0], driver, startPC, batch)
+			for _, o := range observers {
+				o.ObserveBranches(events)
+			}
 		}
 		// Drain it through each follower: per entry the exact serial
 		// accounting + bookkeeping sequence, over thousands of entries

@@ -127,6 +127,47 @@ func TestLPBucketBoundaries(t *testing.T) {
 	}
 }
 
+// TestBucketEdgesExact pins every interval edge of the paper at machine
+// precision: the exact edge values .3 and .7 (BP) and .9 and .98 (LP)
+// land in the closed middle bucket, and the adjacent representable
+// float64 on the open side lands outside it. This is the audited
+// contract of the paper's intervals [0,.3) [.3,.7] (.7,1] and
+// [0,.9) [.9,.98] (.98,1] — any off-by-one in the comparisons flips
+// one of these rows.
+func TestBucketEdgesExact(t *testing.T) {
+	type edge struct {
+		name   string
+		bucket func(float64) int
+		p      float64
+		want   int
+	}
+	cases := []edge{
+		{"BP just below .3", BPBucket, math.Nextafter(0.3, 0), 0},
+		{"BP exactly .3", BPBucket, 0.3, 1},
+		{"BP exactly .7", BPBucket, 0.7, 1},
+		{"BP just above .7", BPBucket, math.Nextafter(0.7, 1), 2},
+		{"LP just below .9", LPBucket, math.Nextafter(0.9, 0), TripLow},
+		{"LP exactly .9", LPBucket, 0.9, TripMedian},
+		{"LP exactly .98", LPBucket, 0.98, TripMedian},
+		{"LP just above .98", LPBucket, math.Nextafter(0.98, 1), TripHigh},
+	}
+	for _, c := range cases {
+		if got := c.bucket(c.p); got != c.want {
+			t.Errorf("%s: bucket(%v) = %d, want %d", c.name, c.p, got, c.want)
+		}
+	}
+	// An item sitting exactly on an edge must not mismatch against a
+	// partner in the same closed bucket.
+	items := []Item{{Pred: 0.3, Avg: 0.7, W: 1}}
+	if got := MismatchRate(items, BPBucket); got != 0 {
+		t.Errorf("0.3 vs 0.7 mismatch rate = %v, want 0 (both in the closed middle bucket)", got)
+	}
+	items = []Item{{Pred: 0.9, Avg: 0.98, W: 1}}
+	if got := MismatchRate(items, LPBucket); got != 0 {
+		t.Errorf("0.9 vs 0.98 mismatch rate = %v, want 0 (both TripMedian)", got)
+	}
+}
+
 func TestTripCountRelation(t *testing.T) {
 	// LP = (T-1)/T as cited from [20]: trip count 10 -> LP 0.9 sits at
 	// the low/median boundary; trip 50 -> LP 0.98 at median/high.

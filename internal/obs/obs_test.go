@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -298,6 +299,35 @@ func TestOccupancyIntegratesToBusyTime(t *testing.T) {
 		}
 		if diff := integral - 6.5; diff < -1e-6 || diff > 1e-6 {
 			t.Fatalf("bins=%d: occupancy integral = %v s, want 6.5", bins, integral)
+		}
+	}
+}
+
+// TestSummarizeZeroDurationHotSpans pins the warm-cache guard on the
+// blocks-per-second gauge: a span that carries hot-loop counters but
+// zero wall time (a cache-warm unit replayed instantly) must yield a
+// throughput of exactly 0 — never NaN or Inf — and the rendered
+// summary must stay finite.
+func TestSummarizeZeroDurationHotSpans(t *testing.T) {
+	evs := []Event{
+		{Bench: "gzip", Unit: UnitRef, Worker: 0, StartNS: 0, DurNS: 0,
+			Blocks: 5000, Fast: 4000, Generic: 1000, Lookups: 42},
+	}
+	s := Summarize(evs)
+	if s.Hot.Blocks != 5000 || s.Hot.RunDur != 0 {
+		t.Fatalf("hot aggregate wrong: %+v", s.Hot)
+	}
+	got := s.Hot.BlocksPerSec()
+	if got != 0 {
+		t.Fatalf("BlocksPerSec over zero-duration spans = %v, want 0", got)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("BlocksPerSec leaked a non-finite value: %v", got)
+	}
+	out := Render(evs)
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("Render leaked %q into the summary:\n%s", bad, out)
 		}
 	}
 }

@@ -101,6 +101,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	gauge("inipd_study_blocks_per_second", "hot-loop throughput: guest blocks over run-unit wall-clock of finished jobs", fmt.Sprintf("%.1f", bps))
 
+	s.predMu.Lock()
+	predNames := make([]string, 0, len(s.predTotals))
+	for name := range s.predTotals {
+		predNames = append(predNames, name)
+	}
+	sort.Strings(predNames)
+	type predRow struct {
+		name                  string
+		branches, mispredicts uint64
+	}
+	predRows := make([]predRow, len(predNames))
+	for i, name := range predNames {
+		t := s.predTotals[name]
+		predRows[i] = predRow{name, t.branches, t.mispredicts}
+	}
+	s.predMu.Unlock()
+	if len(predRows) > 0 {
+		fmt.Fprintf(&b, "# HELP inipd_predictor_branches_total branches observed per dynamic predictor across compare requests\n# TYPE inipd_predictor_branches_total counter\n")
+		for _, row := range predRows {
+			fmt.Fprintf(&b, "inipd_predictor_branches_total{predictor=%q} %d\n", row.name, row.branches)
+		}
+		fmt.Fprintf(&b, "# HELP inipd_predictor_mispredicts_total mispredictions per dynamic predictor across compare requests\n# TYPE inipd_predictor_mispredicts_total counter\n")
+		for _, row := range predRows {
+			fmt.Fprintf(&b, "inipd_predictor_mispredicts_total{predictor=%q} %d\n", row.name, row.mispredicts)
+		}
+		// Guarded like blocks-per-second: an empty branch stream (a
+		// degenerate benchmark, never a warm hit — tallies replay fully
+		// populated) exports 0, not NaN.
+		fmt.Fprintf(&b, "# HELP inipd_predictor_mispredict_rate mispredict rate per dynamic predictor across compare requests\n# TYPE inipd_predictor_mispredict_rate gauge\n")
+		for _, row := range predRows {
+			rate := 0.0
+			if row.branches > 0 {
+				rate = float64(row.mispredicts) / float64(row.branches)
+			}
+			fmt.Fprintf(&b, "inipd_predictor_mispredict_rate{predictor=%q} %.6f\n", row.name, rate)
+		}
+	}
+
 	states := map[JobState]int{}
 	for _, rec := range s.jobs.list() {
 		states[rec.State]++

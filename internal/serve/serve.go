@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/resultcache"
 	"repro/internal/spec"
 	"repro/internal/study"
@@ -132,12 +134,29 @@ type Server struct {
 
 	// exec performs one comparison; tests swap it to count and gate
 	// executions without running the pipeline.
-	exec func(key string, bench *spec.Benchmark, paperT, scale float64) *compareOut
+	exec func(key string, bench *spec.Benchmark, paperT, scale float64, predictors []string) *compareOut
+
+	// Mean compare duration, the Retry-After estimator's numerator.
+	// Tests seed these directly to make the hint deterministic.
+	compareDurNS    atomic.Int64
+	compareDurCount atomic.Int64
+
+	// Per-predictor accuracy totals across every compare this process
+	// answered (cold or warm), exposed at /v1/metrics.
+	predMu     sync.Mutex
+	predTotals map[string]*predictTotals
 
 	draining atomic.Bool
 	jobs     *jobTable
 	m        serverMetrics
 	perf     perfTotals
+}
+
+// predictTotals accumulates one predictor's branch stream across
+// compare requests.
+type predictTotals struct {
+	branches    uint64
+	mispredicts uint64
 }
 
 // serverMetrics is the server's own accounting, exposed at /v1/metrics.
@@ -165,6 +184,8 @@ func New(cfg Config) (*Server, error) {
 
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		flights:  make(map[string]*flight),
+
+		predTotals: make(map[string]*predictTotals),
 	}
 	s.exec = s.runCompare
 	jobs, err := openJobTable(cfg.StateDir, cfg.MaxJobs)
@@ -258,6 +279,33 @@ func (s *Server) admit(r *http.Request) (release func(), status int) {
 	}
 }
 
+// retryAfterSeconds estimates when a rejected caller should come back:
+// the current backlog (occupied inflight slots plus the wait line)
+// times the mean compare duration, spread over the parallel slots,
+// rounded up to whole seconds and clamped to [1, 60]. With no
+// completed compare yet the mean defaults to one second, reproducing
+// the old fixed hint; the estimator is deterministic given the
+// duration totals, which tests seed directly.
+func (s *Server) retryAfterSeconds() int {
+	mean := time.Second
+	if n := s.compareDurCount.Load(); n > 0 {
+		mean = time.Duration(s.compareDurNS.Load() / n)
+	}
+	backlog := int64(len(s.inflight)) + s.queued.Load()
+	if backlog < 1 {
+		backlog = 1
+	}
+	est := time.Duration(backlog) * mean / time.Duration(s.cfg.MaxInflight)
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return int(secs)
+}
+
 // compareRequest is the POST /v1/compare body.
 type compareRequest struct {
 	// Bench is the benchmark name (spec suite).
@@ -268,6 +316,11 @@ type compareRequest struct {
 	Scale float64 `json:"scale,omitempty"`
 	// TimeoutMS overrides the server's default per-request deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Predictors selects dynamic branch predictors to run over the
+	// benchmark's reference trace (see internal/predict). Empty keeps
+	// the response byte-identical to requests made before the field
+	// existed.
+	Predictors []string `json:"predictors,omitempty"`
 }
 
 // summaryWire is metrics.Summary with JSON names pinned: the struct in
@@ -313,6 +366,18 @@ type compareResponse struct {
 	Summary    summaryWire        `json:"summary"`
 	Train      summaryWire        `json:"train"`
 	Failures   []core.UnitFailure `json:"failures,omitempty"`
+	// Predictors carries the dynamic-predictor tallies in request
+	// order; omitted entirely without a predictor selection, keeping
+	// legacy responses byte-identical.
+	Predictors []predictorWire `json:"predictors,omitempty"`
+}
+
+// predictorWire is one predictor tally on the wire.
+type predictorWire struct {
+	Predictor      string  `json:"predictor"`
+	Branches       uint64  `json:"branches"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	MispredictRate float64 `json:"mispredict_rate"`
 }
 
 // compareOut is one flight's outcome, shared by every coalesced caller.
@@ -346,6 +411,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "threshold t must be positive, got %v", req.T)
 		return
 	}
+	if len(req.Predictors) > 0 {
+		if _, err := predict.NewSuite(req.Predictors); err != nil {
+			errorJSON(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	scale := req.Scale
 	if scale <= 0 {
 		scale = s.cfg.Scale
@@ -364,7 +435,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		defer release()
 	case http.StatusTooManyRequests:
 		s.m.compareOverload.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		errorJSON(w, status, "server at capacity (%d inflight, %d queued)", s.cfg.MaxInflight, s.cfg.MaxQueue)
 		return
 	case http.StatusGatewayTimeout:
@@ -378,8 +449,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 	// Coalesce identical in-flight work: the key pins everything that
 	// determines the result (benchmark → image+tape, threshold →
-	// engine config, scale → ladder clamp), so sharing is safe.
+	// engine config, scale → ladder clamp, predictor list → response
+	// tail), so sharing is safe. Predictor-less requests keep the
+	// legacy key shape.
 	key := fmt.Sprintf("%s|t=%g|scale=%g", bench.Name, req.T, scale)
+	if len(req.Predictors) > 0 {
+		key += "|bp=" + strings.Join(req.Predictors, ",")
+	}
 	s.flightMu.Lock()
 	f, follower := s.flights[key]
 	if !follower {
@@ -392,7 +468,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.m.compareCoalesced.Add(1)
 	} else {
 		go func() {
-			f.out = s.exec(key, bench, req.T, scale)
+			execStart := time.Now()
+			f.out = s.exec(key, bench, req.T, scale, req.Predictors)
+			s.compareDurNS.Add(int64(time.Since(execStart)))
+			s.compareDurCount.Add(1)
 			s.flightMu.Lock()
 			delete(s.flights, key)
 			s.flightMu.Unlock()
@@ -441,7 +520,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // shared scheduler and renders the canonical response body. It runs to
 // completion regardless of any caller's deadline — abandoning it would
 // waste the work the cache is about to keep.
-func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float64) *compareOut {
+func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float64, predictors []string) *compareOut {
 	eff := study.EffectiveThreshold(paperT, scale)
 	var timing core.Timing
 	opts := core.Options{
@@ -450,6 +529,7 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 		Timing:     &timing,
 		Trace:      s.cfg.Trace,
 		Cache:      s.cfg.Cache,
+		Predictors: predictors,
 		// Must match the study's context format exactly, so the daemon
 		// and the CLI share cache entries for the same work.
 		CacheContext: fmt.Sprintf("scale=%g", scale),
@@ -478,6 +558,18 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 	if len(res.Results) == 1 {
 		resp.Summary = toWire(res.Results[0].Summary)
 	}
+	if len(res.Predictors) > 0 {
+		resp.Predictors = make([]predictorWire, len(res.Predictors))
+		for i, p := range res.Predictors {
+			resp.Predictors[i] = predictorWire{
+				Predictor:      p.Predictor,
+				Branches:       p.Branches,
+				Mispredicts:    p.Mispredicts,
+				MispredictRate: p.MispredictRate(),
+			}
+		}
+		s.recordPredictors(res.Predictors)
+	}
 	body, err := json.Marshal(resp)
 	if err != nil {
 		return &compareOut{status: http.StatusInternalServerError, errMsg: err.Error()}
@@ -487,4 +579,21 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 		body:   append(body, '\n'),
 		blocks: timing.BlocksExecuted.Load(),
 	}
+}
+
+// recordPredictors folds one compare's predictor tallies into the
+// process-lifetime totals behind /v1/metrics. Warm compares count too:
+// their tallies come out of the result cache fully populated.
+func (s *Server) recordPredictors(results []predict.Result) {
+	s.predMu.Lock()
+	for _, p := range results {
+		t := s.predTotals[p.Predictor]
+		if t == nil {
+			t = &predictTotals{}
+			s.predTotals[p.Predictor] = t
+		}
+		t.branches += p.Branches
+		t.mispredicts += p.Mispredicts
+	}
+	s.predMu.Unlock()
 }

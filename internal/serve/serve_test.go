@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/resultcache"
 	"repro/internal/spec"
+	"repro/internal/study"
 )
 
 // newTestServer builds a Server with small admission limits and, when
@@ -26,7 +27,7 @@ func newTestServer(t *testing.T, cfg Config, gate chan struct{}, calls *atomic.I
 		t.Fatal(err)
 	}
 	if gate != nil {
-		s.exec = func(key string, _ *spec.Benchmark, _, _ float64) *compareOut {
+		s.exec = func(key string, _ *spec.Benchmark, _, _ float64, _ []string) *compareOut {
 			calls.Add(1)
 			<-gate
 			return &compareOut{
@@ -510,5 +511,187 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 	if ok == 0 {
 		t.Fatal("no request in the burst succeeded")
+	}
+}
+
+// TestRetryAfterScalesWithBacklog pins the satellite-2 estimator: the
+// Retry-After hint is backlog times mean compare duration over the
+// parallel slots, ceiling-rounded and clamped to [1, 60]. The duration
+// totals are seeded directly, so every row is deterministic.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxInflight: 2, MaxQueue: -1}, nil, nil)
+
+	// No history, no backlog: the estimator reproduces the old fixed 1s.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle hint = %d, want 1", got)
+	}
+
+	// Mean compare duration: 4 compares totalling 24s → 6s each.
+	s.compareDurNS.Store(int64(24 * time.Second))
+	s.compareDurCount.Store(4)
+
+	// One occupied slot of two: 1 * 6s / 2 = 3s.
+	s.inflight <- struct{}{}
+	if got := s.retryAfterSeconds(); got != 3 {
+		t.Fatalf("1-slot hint = %d, want 3", got)
+	}
+	// Second slot plus four queued waiters: 6 * 6s / 2 = 18s — the hint
+	// grows with the backlog.
+	s.inflight <- struct{}{}
+	s.queued.Add(4)
+	if got := s.retryAfterSeconds(); got != 18 {
+		t.Fatalf("backlogged hint = %d, want 18", got)
+	}
+	// A huge backlog clamps at the 60s ceiling.
+	s.queued.Add(100)
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("clamped hint = %d, want 60", got)
+	}
+	// Sub-second estimates round up to the 1s floor.
+	s.queued.Store(0)
+	<-s.inflight
+	<-s.inflight
+	s.compareDurNS.Store(int64(10 * time.Millisecond))
+	s.compareDurCount.Store(1)
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("floor hint = %d, want 1", got)
+	}
+}
+
+// TestRetryAfterHeaderReflectsEstimate: the 429 path serves the live
+// estimate, not a constant — with a seeded 30s mean and one busy slot
+// the rejected caller is told to come back in 30 seconds.
+func TestRetryAfterHeaderReflectsEstimate(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	s := newTestServer(t, Config{Workers: 1, MaxInflight: 1, MaxQueue: -1}, gate, &calls)
+	s.compareDurNS.Store(int64(30 * time.Second))
+	s.compareDurCount.Store(1)
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postCompare(s, `{"bench":"gzip","t":2000}`) }()
+	waitFor(t, "leader to start executing", func() bool { return calls.Load() == 1 })
+
+	w := postCompare(s, `{"bench":"mcf","t":2000}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After = %q, want \"30\" (1 busy slot x 30s mean)", got)
+	}
+
+	close(gate)
+	if w := <-first; w.Code != http.StatusOK {
+		t.Fatalf("admitted request failed: %d", w.Code)
+	}
+}
+
+// TestMetricsWarmStudyThroughputZero pins the satellite-3 guard: a
+// fully cache-warm study finishes with guest blocks recorded but zero
+// run-unit wall-clock, and the blocks-per-second gauge must expose 0
+// — not NaN or Inf — in the Prometheus text.
+func TestMetricsWarmStudyThroughputZero(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1}, nil, nil)
+	s.recordJobPerf(study.Perf{BlocksExecuted: 123456})
+
+	req := httptest.NewRequest("GET", "/v1/metrics", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	body := w.Body.String()
+	if !strings.Contains(body, "inipd_study_blocks_per_second 0.0\n") {
+		t.Fatalf("warm-study gauge not pinned to 0.0:\n%s", body)
+	}
+	if !strings.Contains(body, "inipd_study_guest_blocks_total 123456\n") {
+		t.Fatalf("block counter missing:\n%s", body)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(body, bad) {
+			t.Fatalf("metrics exposition leaked %q:\n%s", bad, body)
+		}
+	}
+}
+
+// TestComparePredictorsE2E drives the real pipeline with a predictor
+// selection: the response carries per-predictor tallies, the warm
+// rerun is byte-identical at zero guest blocks, the mispredict
+// counters reach /v1/metrics, and requests without predictors keep the
+// legacy wire format.
+func TestComparePredictorsE2E(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Scale: 0.001, Workers: 1, Cache: cache}, nil, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/compare", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, raw
+	}
+
+	if resp, raw := post(`{"bench":"gzip","t":2000,"predictors":["oracle"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown predictor: %d %s, want 400", resp.StatusCode, raw)
+	}
+
+	const reqBody = `{"bench":"gzip","t":2000,"predictors":["2bit","gshare"]}`
+	cold, coldBody := post(reqBody)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold compare: %d %s", cold.StatusCode, coldBody)
+	}
+	var resp compareResponse
+	if err := json.Unmarshal(coldBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Predictors) != 2 || resp.Predictors[0].Predictor != "2bit" || resp.Predictors[1].Predictor != "gshare" {
+		t.Fatalf("predictor tallies wrong: %+v", resp.Predictors)
+	}
+	for _, p := range resp.Predictors {
+		if p.Branches == 0 {
+			t.Fatalf("%s observed no branches: %+v", p.Predictor, p)
+		}
+		if want := float64(p.Mispredicts) / float64(p.Branches); p.MispredictRate != want {
+			t.Fatalf("%s rate %v, want %v", p.Predictor, p.MispredictRate, want)
+		}
+	}
+
+	warm, warmBody := post(reqBody)
+	if got := warm.Header.Get("X-Inipd-Guest-Blocks"); got != "0" {
+		t.Fatalf("warm predictor compare executed %s guest blocks, want 0", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Fatalf("warm predictor body differs from cold:\n%s\n%s", coldBody, warmBody)
+	}
+
+	// Warm compares still fold tallies into the exported totals: two
+	// runs, so each predictor's branch counter is twice one run's.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mraw)
+	wantLine := fmt.Sprintf("inipd_predictor_branches_total{predictor=\"2bit\"} %d\n", 2*resp.Predictors[0].Branches)
+	if !strings.Contains(metrics, wantLine) {
+		t.Fatalf("metrics missing %q:\n%s", wantLine, metrics)
+	}
+	if !strings.Contains(metrics, `inipd_predictor_mispredict_rate{predictor="gshare"}`) {
+		t.Fatalf("gshare rate gauge missing:\n%s", metrics)
+	}
+
+	// A request without predictors keeps the legacy wire format: no
+	// predictors key at all, so existing clients see identical bytes.
+	_, legacyBody := post(`{"bench":"gzip","t":2000}`)
+	if bytes.Contains(legacyBody, []byte("predictors")) {
+		t.Fatalf("legacy response leaked a predictors field:\n%s", legacyBody)
 	}
 }

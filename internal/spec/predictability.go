@@ -1,0 +1,76 @@
+package spec
+
+// Branch-predictability classification of the behaviour models, the
+// grouping axis the predictor-zoo figures report mispredict rates
+// under. The classes follow the workload-characterization literature:
+// a benchmark whose conditional branches are all heavily biased is
+// easy for any history-based scheme; one whose branch probabilities
+// move between phases stresses predictor retraining; everything in
+// between is mixed.
+//
+// The classification is static — derived from the declarative Ref
+// behaviour model, not from an execution — so it is a fixed property
+// of the suite and never depends on scale, ladder or run mode.
+
+// Predictability is a benchmark's branch-predictability class.
+type Predictability string
+
+const (
+	// PredBiased: every branch-like site keeps a strongly biased
+	// direction (probability <= 0.3 or >= 0.7, the BP-bucket edges) in
+	// every phase.
+	PredBiased Predictability = "biased"
+	// PredMixed: at least one branch-like site sits in the middle of
+	// the probability range, but no site's bias moves across phases.
+	PredMixed Predictability = "mixed"
+	// PredPhaseChanging: some branch-like site's parameter moves by
+	// more than 0.1 between phases, so a predictor's trained state goes
+	// stale mid-run.
+	PredPhaseChanging Predictability = "phase-changing"
+)
+
+// PredictabilityClasses lists the classes in canonical report order.
+func PredictabilityClasses() []Predictability {
+	return []Predictability{PredBiased, PredMixed, PredPhaseChanging}
+}
+
+// branchLike reports whether a site kind contributes conditional
+// branches whose direction its parameter controls. Counted loops and
+// calls branch too, but perfectly regularly — their parameter is a
+// trip count or unused, not a direction bias.
+func branchLike(k SiteKind) bool {
+	switch k {
+	case SiteBranch, SiteDiamond, SiteGeoLoop, SiteSwitch, SiteColdCode:
+		return true
+	}
+	return false
+}
+
+// Predictability classifies the benchmark's reference behaviour.
+func (b *Benchmark) Predictability() Predictability {
+	const phaseDelta = 0.1
+	if b.Ref.phases() > 1 {
+		for s, site := range b.Sites {
+			if !branchLike(site.Kind) {
+				continue
+			}
+			for p := 1; p < len(b.Ref.Params); p++ {
+				d := b.Ref.Params[p][s] - b.Ref.Params[0][s]
+				if d > phaseDelta || d < -phaseDelta {
+					return PredPhaseChanging
+				}
+			}
+		}
+	}
+	for s, site := range b.Sites {
+		if !branchLike(site.Kind) {
+			continue
+		}
+		for _, row := range b.Ref.Params {
+			if p := row[s]; p > 0.3 && p < 0.7 {
+				return PredMixed
+			}
+		}
+	}
+	return PredBiased
+}

@@ -31,6 +31,11 @@ type checkpointHeader struct {
 	PaperT          []float64 `json:"paper_t"`
 	IndependentRuns bool      `json:"independent_runs"`
 	Benchmarks      []string  `json:"benchmarks"`
+	// Predictors is the requested dynamic-predictor list; omitted when
+	// empty so predictor-less checkpoints are byte-identical to files
+	// written before the field existed (strict unmarshal keeps reading
+	// them).
+	Predictors []string `json:"predictors,omitempty"`
 }
 
 // checkpointer persists completed benchmark series. Every commit
@@ -74,6 +79,7 @@ func openCheckpoint(cfg *Config, paperT []float64) (*checkpointer, map[string]Be
 			PaperT:          paperT,
 			IndependentRuns: cfg.IndependentRuns,
 			Benchmarks:      names,
+			Predictors:      cfg.Predictors,
 		},
 		order: order,
 		done:  make(map[string]BenchmarkSeries),
@@ -173,6 +179,9 @@ func matchHeader(got, want checkpointHeader) error {
 	}
 	if !equalStrings(got.Benchmarks, want.Benchmarks) {
 		return fmt.Errorf("checkpoint benchmarks %v, this run selects %v", got.Benchmarks, want.Benchmarks)
+	}
+	if !equalStrings(got.Predictors, want.Predictors) {
+		return fmt.Errorf("checkpoint predictors %v, this run selects %v", got.Predictors, want.Predictors)
 	}
 	return nil
 }

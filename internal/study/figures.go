@@ -335,6 +335,7 @@ func (r *Results) Figures() []Figure {
 		r.Figure13(), r.Figure14(), r.Figure15(), r.Figure16(),
 		r.Figure17(), r.Figure18(),
 	}
+	figs = append(figs, r.predictorFigures()...)
 	if gaps := r.gapNotes(); len(gaps) > 0 {
 		for i := range figs {
 			figs[i].Gaps = gaps
@@ -343,7 +344,8 @@ func (r *Results) Figures() []Figure {
 	return figs
 }
 
-// FigureByID returns the named figure ("fig8".."fig18"), or false.
+// FigureByID returns the named figure ("fig8".."fig18", plus
+// "figp1"/"figp2" when the study ran predictors), or false.
 func (r *Results) FigureByID(id string) (Figure, bool) {
 	for _, f := range r.Figures() {
 		if f.ID == id {

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/predict"
 	"repro/internal/resultcache"
 	"repro/internal/spec"
 )
@@ -174,5 +175,47 @@ func TestStudyCacheVerifyMode(t *testing.T) {
 	}
 	if !reflect.DeepEqual(coldRes.Series, vres.Series) {
 		t.Fatal("verify-mode series differ from cold series")
+	}
+}
+
+// TestGoldenPredictorFigures pins the predictor corpus: the same frozen
+// configuration with every registered predictor observing must render
+// figp1/figp2 byte-identically to the committed files. The paper
+// figures of that run are covered transitively — the read-only-observer
+// test proves them equal to the predictor-less corpus above.
+func TestGoldenPredictorFigures(t *testing.T) {
+	cfg := goldenConfig(t)
+	cfg.Predictors = predict.Names()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := res.Figures()
+	if len(figs) < 2 {
+		t.Fatalf("only %d figures", len(figs))
+	}
+	predFigs := figs[len(figs)-2:]
+	if predFigs[0].ID != "figp1" || predFigs[1].ID != "figp2" {
+		t.Fatalf("trailing figures are %q, %q; want figp1, figp2", predFigs[0].ID, predFigs[1].ID)
+	}
+	got, err := json.MarshalIndent(predFigs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_predictors.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("golden_predictors.json drifted from the committed corpus (regenerate with -update if intended)")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/predict"
 	"repro/internal/resultcache"
 	"repro/internal/spec"
 )
@@ -108,6 +109,13 @@ type Config struct {
 	// values is a hard unit error (subject to Policy like any other
 	// failure). Requires Cache.
 	CacheVerify bool
+	// Predictors names the dynamic branch predictors (internal/predict)
+	// to drive off each benchmark's reference trace as read-only
+	// observers. The guest still executes exactly once per benchmark;
+	// mispredict tallies are threshold-independent and identical across
+	// Parallelism values and dispatch paths. Empty (the default) runs
+	// no predictors and leaves every figure byte-identical.
+	Predictors []string
 	// Stop, when non-nil, triggers a graceful drain when it is closed:
 	// in-flight guest runs are interrupted, completed series stay
 	// checkpointed, and Run returns the partial results with ErrStopped.
@@ -181,6 +189,16 @@ func (c *Config) Validate() error {
 	if c.CacheVerify && c.Cache == nil {
 		return errors.New("study: cache verification requested without a cache")
 	}
+	predSeen := make(map[string]bool, len(c.Predictors))
+	for _, name := range c.Predictors {
+		if _, err := predict.New(name); err != nil {
+			return fmt.Errorf("study: %w", err)
+		}
+		if predSeen[name] {
+			return fmt.Errorf("study: predictor %q selected twice", name)
+		}
+		predSeen[name] = true
+	}
 	return nil
 }
 
@@ -214,6 +232,10 @@ type BenchmarkSeries struct {
 	// with failures carries incomplete data and is excluded from every
 	// figure (the exclusion is annotated in Figure.Gaps).
 	Failures []core.UnitFailure `json:",omitempty"`
+	// Predictors holds the dynamic-predictor tallies over this
+	// benchmark's reference trace, in Config.Predictors order; absent
+	// (and omitted from checkpoints) when no predictors were requested.
+	Predictors []predict.Result `json:",omitempty"`
 }
 
 // ok reports whether the series carries complete measurement data: the
@@ -373,6 +395,7 @@ func Run(cfg Config) (*Results, error) {
 			RetryBackoff:    cfg.RetryBackoff,
 			Cache:           cfg.Cache,
 			CacheVerify:     cfg.CacheVerify,
+			Predictors:      cfg.Predictors,
 			// Scale is the one study parameter that shapes results
 			// without being visible in image, tape or engine config
 			// (it clamps the effective ladder), so it anchors the key
@@ -390,6 +413,7 @@ func Run(cfg Config) (*Results, error) {
 				AVEPCycles:   out.AVEPCycles,
 				PerT:         out.Results,
 				Failures:     out.Failures,
+				Predictors:   out.Predictors,
 			}
 			if len(out.Failures) == 0 {
 				ckpt.commit(res.Series[i], cfg.Trace)
