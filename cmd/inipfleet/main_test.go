@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFleetSmoke drives a 2-worker fleet through run() in-process:
+// the coordinator binds port 0 and publishes its address, the workers
+// find it through the address file, and the figure corpus lands.
+func TestFleetSmoke(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr.txt")
+	figFile := filepath.Join(dir, "figures.json")
+
+	var coordErr bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	coordCode := -1
+	go func() {
+		defer wg.Done()
+		coordCode = run([]string{
+			"-mode", "coordinator",
+			"-addr", "127.0.0.1:0", "-addrfile", addrFile,
+			"-scale", "0.001", "-bench", "gzip,swim",
+			"-state", filepath.Join(dir, "coord.d"),
+			"-figjson", figFile,
+			"-linger", "500ms",
+		}, &bytes.Buffer{}, &coordErr, nil)
+	}()
+
+	// Wait for the published address.
+	var coordURL string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			coordURL = "http://" + strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if coordURL == "" {
+		t.Fatalf("coordinator never published its address; stderr:\n%s", coordErr.String())
+	}
+
+	workerCodes := make([]int, 2)
+	for i := range workerCodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerCodes[i] = run([]string{
+				"-mode", "worker",
+				"-coordinator", coordURL,
+				"-id", []string{"w1", "w2"}[i],
+				"-scratch", filepath.Join(dir, "w", []string{"w1", "w2"}[i]),
+				"-poll", "10ms", "-maxoffline", "30s",
+			}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+		}(i)
+	}
+	wg.Wait()
+
+	if coordCode != 0 {
+		t.Fatalf("coordinator exit = %d; stderr:\n%s", coordCode, coordErr.String())
+	}
+	for i, code := range workerCodes {
+		if code != 0 {
+			t.Fatalf("worker %d exit = %d", i, code)
+		}
+	}
+	data, err := os.ReadFile(figFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{`"fig8"`, `"gzip"`} {
+		if !bytes.Contains(data, []byte(needle)) {
+			t.Fatalf("figure corpus missing %q", needle)
+		}
+	}
+	if !strings.Contains(coordErr.String(), "2 completions") {
+		t.Fatalf("coordinator summary missing completions:\n%s", coordErr.String())
+	}
+	// The worker scratch dirs carry their markers.
+	for _, id := range []string{"w1", "w2"} {
+		if _, err := os.Stat(filepath.Join(dir, "w", id, "worker.json")); err != nil {
+			t.Fatalf("scratch marker: %v", err)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "conductor"},
+		{},
+		{"-mode", "coordinator", "-bench", "nonesuch"},
+		{"-mode", "coordinator", "-failpolicy", "shrug"},
+		{"-mode", "worker", "-inject", "net:jam:lease"},
+	}
+	for _, args := range cases {
+		var errOut bytes.Buffer
+		if code := run(args, &bytes.Buffer{}, &errOut, nil); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2; stderr: %s", args, code, errOut.String())
+		}
+	}
+	// A worker without a coordinator URL is a runtime error, not usage.
+	if code := run([]string{"-mode", "worker"}, &bytes.Buffer{}, &bytes.Buffer{}, nil); code != 1 {
+		t.Fatalf("worker without coordinator = %d, want 1", code)
+	}
+}

@@ -1,0 +1,67 @@
+// Unit execution behind an interface: the study pipeline names *what*
+// to run (a benchmark target plus options) while a UnitExecutor decides
+// *where* — on this process's scheduler, or on a fleet of workers
+// behind a lease protocol (internal/fleet). The local implementation
+// is a thin adapter over ScheduleBenchmark, so a study driven through
+// it is bit-exact with the direct path.
+package core
+
+// UnitExecutor executes one benchmark's complete study unit — the
+// reference/AVEP run, the training run and the per-threshold
+// comparisons — and returns its result.
+//
+// cancel is closed when the caller no longer wants the result (study
+// stop or fail-fast cancellation); an implementation must then return
+// promptly, conventionally with ErrStopped. Implementations must be
+// safe for concurrent calls: an executor-mode study issues one call
+// per benchmark, all in flight at once.
+//
+// The contract that makes distribution safe is determinism: for a
+// given (Target, Options) pair the result is byte-identical no matter
+// which process computes it, how many workers it shares a pool with,
+// or whether it was replayed from the result cache. Everything the
+// fleet layer does (reassigning expired leases, accepting the first
+// of duplicate completions) leans on that.
+type UnitExecutor interface {
+	ExecuteUnit(t Target, opts Options, cancel <-chan struct{}) (*BenchmarkResult, error)
+}
+
+// LocalExecutor runs units in-process on a scheduler — the
+// transport-free implementation, and the reference for equivalence
+// tests: a study wired through it decomposes into exactly the same
+// scheduler units as the direct ScheduleBenchmark path.
+//
+// S may be left nil by study drivers; study.Run binds a nil-scheduler
+// LocalExecutor to its own shared pool, which reproduces the
+// single-process study's concurrency structure exactly.
+type LocalExecutor struct {
+	S *Scheduler
+}
+
+// ExecuteUnit schedules the benchmark on the executor's pool and waits
+// for its completion callback. When the pool cancels instead (stop or
+// fail-fast error elsewhere), the in-flight units are interrupted
+// through the scheduler's Done channel and the pool's first error is
+// returned.
+func (e *LocalExecutor) ExecuteUnit(t Target, opts Options, cancel <-chan struct{}) (*BenchmarkResult, error) {
+	done := make(chan *BenchmarkResult, 1)
+	ScheduleBenchmark(e.S, t, opts, func(r *BenchmarkResult) { done <- r })
+	select {
+	case r := <-done:
+		return r, nil
+	case <-e.S.Done():
+	case <-cancel:
+	}
+	// Cancelled — but the completion callback races the cancel signal,
+	// and a result that made it out is always preferable (it is the
+	// same bytes a clean run produces).
+	select {
+	case r := <-done:
+		return r, nil
+	default:
+	}
+	if err := e.S.Err(); err != nil {
+		return nil, err
+	}
+	return nil, ErrStopped
+}

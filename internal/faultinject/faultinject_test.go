@@ -108,6 +108,101 @@ func TestNilPlanIsInert(t *testing.T) {
 	}
 }
 
+func TestNetFaults(t *testing.T) {
+	p, err := Parse("net:drop:complete*1, net:delay:lease:50ms*2, net:dup:complete@2*1, net:sever:heartbeat@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Call 1 to complete: drop fires (first matching call), dup not yet
+	// (armed at call 2).
+	v := p.NetCall("complete")
+	if !v.Drop || v.Duplicate || v.Sever || v.Delay != 0 {
+		t.Fatalf("complete call 1: %+v", v)
+	}
+	// Call 2: drop exhausted, dup armed.
+	v = p.NetCall("complete")
+	if v.Drop || !v.Duplicate {
+		t.Fatalf("complete call 2: %+v", v)
+	}
+	// Call 3: everything consumed.
+	if v = p.NetCall("complete"); v != (NetVerdict{}) {
+		t.Fatalf("complete call 3: %+v", v)
+	}
+
+	// Bounded delay: two calls, then clean.
+	for i := 0; i < 2; i++ {
+		if v = p.NetCall("lease"); v.Delay != 50*time.Millisecond {
+			t.Fatalf("lease call %d: %+v", i+1, v)
+		}
+	}
+	if v = p.NetCall("lease"); v.Delay != 0 {
+		t.Fatalf("lease call 3: %+v", v)
+	}
+
+	// Sever is persistent from its armed point on.
+	for i := 1; i <= 6; i++ {
+		v = p.NetCall("heartbeat")
+		if want := i >= 3; v.Sever != want {
+			t.Fatalf("heartbeat call %d: sever = %v, want %v", i, v.Sever, want)
+		}
+	}
+}
+
+func TestNetFaultWildcardAndAuto(t *testing.T) {
+	p, err := Parse("net:drop:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.NetCall("anything"); !v.Drop {
+		t.Fatal("wildcard endpoint did not match")
+	}
+
+	// @auto derives a stable, in-range call index from the seed.
+	fire := func(spec string) int {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= autoNetRange; i++ {
+			if p.NetCall("lease").Sever {
+				return i
+			}
+		}
+		t.Fatalf("auto sever never fired: %s", spec)
+		return 0
+	}
+	a := fire("seed:7,net:sever:lease@auto")
+	b := fire("net:sever:lease@auto,seed:7")
+	if a != b {
+		t.Fatalf("same seed, different auto points: %d vs %d", a, b)
+	}
+
+	// A nil plan injects nothing.
+	var nilPlan *Plan
+	if v := nilPlan.NetCall("lease"); v != (NetVerdict{}) {
+		t.Fatalf("nil plan: %+v", v)
+	}
+}
+
+func TestNetFaultStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"net:drop:complete*1",
+		"net:delay:lease:50ms*2",
+		"net:dup:complete@2*1",
+		"net:sever:heartbeat@3",
+		"net:drop:*",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Errorf("String() = %q, want %q", got, spec)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
 		"boom",               // no kind separator
@@ -126,7 +221,16 @@ func TestParseErrors(t *testing.T) {
 		"build:*0/",          // "*" embedded in a bench name (fuzz find:
 		//	its canonical String form "build:*0" re-parses the name's
 		//	tail as a repeat count)
-		"panic:gzip/u*nit@5", // "*" embedded in a unit name
+		"panic:gzip/u*nit@5",      // "*" embedded in a unit name
+		"net:lease",               // missing net op
+		"net:jam:lease",           // unknown net op
+		"net:drop:",               // missing endpoint
+		"net:drop:lease@0",        // zero call index
+		"net:drop:lease@soon",     // bad call index
+		"net:delay:lease",         // missing duration
+		"net:delay:lease:fast",    // bad duration
+		"net:drop:le*ase",         // "*" embedded in an endpoint name
+		"net:sever:hea@rt@beat@2", // "@" embedded in an endpoint name
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted", spec)

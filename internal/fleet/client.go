@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Client speaks the fleet protocol to a coordinator, consulting the
+// deterministic network fault plan once per call: sever fails the call
+// before it is sent, delay stalls it, dup sends the request twice
+// (exercising completion idempotency), and drop delivers the request
+// but loses the response — the caller sees an error for work the
+// coordinator already applied.
+type Client struct {
+	base   string // coordinator base URL, no trailing slash
+	hc     *http.Client
+	faults *faultinject.Plan
+}
+
+// NewClient returns a client for the coordinator at base
+// (e.g. "http://127.0.0.1:9090"). faults may be nil.
+func NewClient(base string, faults *faultinject.Plan) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: &http.Client{}, faults: faults}
+}
+
+// Post issues one fleet protocol call and decodes the JSON reply into
+// out. A 410 maps to ErrLeaseGone; other non-2xx statuses become
+// errors carrying the server's message.
+func (c *Client) Post(ctx context.Context, endpoint string, in, out any) error {
+	v := c.faults.NetCall(endpoint)
+	if v.Sever {
+		return fmt.Errorf("fleet: %s: connection severed (injected)", endpoint)
+	}
+	if v.Delay > 0 {
+		t := time.NewTimer(v.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", endpoint, err)
+	}
+	do := func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/fleet/"+endpoint, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return c.hc.Do(req)
+	}
+	resp, err := do()
+	if v.Duplicate {
+		// Model a duplicated request on the wire: both copies reach the
+		// server; the caller observes the second reply.
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		resp, err = do()
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", endpoint, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("fleet: %s: read reply: %w", endpoint, err)
+	}
+	if v.Drop {
+		return fmt.Errorf("fleet: %s: response dropped (injected)", endpoint)
+	}
+	if resp.StatusCode == http.StatusGone {
+		return ErrLeaseGone
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = string(bytes.TrimSpace(data))
+		}
+		return fmt.Errorf("fleet: %s: %s: %s", endpoint, resp.Status, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("fleet: %s: decode reply: %w", endpoint, err)
+	}
+	return nil
+}

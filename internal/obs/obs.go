@@ -37,6 +37,16 @@ const (
 	UnitCacheHit     = "cache_hit"     // a result-cache lookup that served a validated entry
 	UnitCacheMiss    = "cache_miss"    // a result-cache lookup that found nothing usable
 	UnitCacheStore   = "cache_store"   // a result-cache entry write (Err set when it failed)
+
+	// Fleet-protocol spans (internal/fleet): the coordinator's lease
+	// lifecycle. Worker is always 0 — leases belong to remote workers,
+	// not pool slots — and Err names the remote worker or carries the
+	// failure detail.
+	UnitLeaseGrant    = "lease_grant"    // a unit leased to a worker
+	UnitLeaseExpire   = "lease_expire"   // a lease passed its deadline and was revoked
+	UnitLeaseComplete = "lease_complete" // a completion settled its unit
+	UnitLeaseReject   = "lease_reject"   // a duplicate/stale completion was dropped
+	UnitFleetFail     = "fleet_fail"     // a unit exhausted its lease attempts
 )
 
 // validUnits gates ReadEvents: an unknown unit name means the producer
@@ -53,6 +63,12 @@ var validUnits = map[string]bool{
 	UnitCacheHit:     true,
 	UnitCacheMiss:    true,
 	UnitCacheStore:   true,
+
+	UnitLeaseGrant:    true,
+	UnitLeaseExpire:   true,
+	UnitLeaseComplete: true,
+	UnitLeaseReject:   true,
+	UnitFleetFail:     true,
 }
 
 // Event is one flight-recorder record: a completed span of pipeline

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -173,6 +174,10 @@ type jobTable struct {
 	dir   string // "" = memory-only
 	slots chan struct{}
 	wg    sync.WaitGroup
+
+	// recordsDropped counts corrupt jobs.json tails salvaged at open
+	// (set once at startup; exported as inipd_job_records_dropped_total).
+	recordsDropped uint64
 }
 
 // openJobTable loads (or initializes) the job table. Startup is the
@@ -201,10 +206,8 @@ func openJobTable(dir string, maxJobs int) (*jobTable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: job table: %w", err)
 	}
-	var recs []jobRecord
-	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("serve: job table: %w", err)
-	}
+	recs, dropped := decodeJobRecords(data)
+	t.recordsDropped = dropped
 	for _, rec := range recs {
 		// A record still queued/running belongs to a daemon that was
 		// killed without a drain; it is interrupted until resumed.
@@ -219,6 +222,37 @@ func openJobTable(dir string, maxJobs int) (*jobTable, error) {
 		}
 	}
 	return t, nil
+}
+
+// decodeJobRecords parses jobs.json, tolerating a corrupt tail. The
+// file is rewritten atomically, so a damaged one means outside
+// interference (disk fault, manual edit, a copy taken mid-write by a
+// non-atomic tool) — the daemon salvages every leading record that
+// still parses rather than refusing to start: losing resumability for
+// one trailing job must not take the whole job history down with it.
+// dropped counts the salvage (1 per corrupt tail; the exact number of
+// records lost in unparsable bytes is unknowable).
+func decodeJobRecords(data []byte) (recs []jobRecord, dropped uint64) {
+	if err := json.Unmarshal(data, &recs); err == nil {
+		return recs, 0
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		// An empty file is an empty table, not a corrupt one.
+		return nil, 0
+	}
+	recs = nil
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+		return nil, 1
+	}
+	for dec.More() {
+		var rec jobRecord
+		if err := dec.Decode(&rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, 1
 }
 
 func numericSuffix(id string) int {

@@ -1,0 +1,91 @@
+package study
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// TestLocalExecutorEquivalence pins the UnitExecutor extraction as a
+// pure refactor: a study routed through a LocalExecutor bound to the
+// study's own pool must produce byte-identical figures — and
+// deep-equal series — to the direct scheduling path, over the full
+// spec suite.
+func TestLocalExecutorEquivalence(t *testing.T) {
+	run := func(exec core.UnitExecutor) (*Results, []byte) {
+		t.Helper()
+		res, err := Run(Config{
+			Scale:      0.001,
+			Thresholds: []float64{1, 100, 1e4, 1e6},
+			Executor:   exec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := json.MarshalIndent(res.Figures(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fig
+	}
+	ref, refFig := run(nil)
+	got, gotFig := run(&core.LocalExecutor{})
+	if !reflect.DeepEqual(got.Series, ref.Series) {
+		t.Fatal("executor-mode series differ from the direct scheduling path")
+	}
+	if !reflect.DeepEqual(gotFig, refFig) {
+		t.Fatal("executor-mode figures are not byte-identical to the direct scheduling path")
+	}
+}
+
+// TestExecutorStopAfter: the deterministic stop knob must drain an
+// executor-mode study the same way it drains the direct path — pending
+// ExecuteUnit calls unblock on the pool's cancellation instead of
+// hanging the run.
+func TestExecutorStopAfter(t *testing.T) {
+	res, err := Run(Config{
+		Scale:      0.001,
+		Thresholds: []float64{100},
+		Benchmarks: []*spec.Benchmark{spec.ByName("gzip"), spec.ByName("swim"), spec.ByName("mcf")},
+		Executor:   &core.LocalExecutor{},
+		StopAfter:  1,
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	done := 0
+	for _, s := range res.Series {
+		if s.Name != "" {
+			done++
+		}
+	}
+	if done < 1 || done == len(res.Series) {
+		t.Fatalf("stopped study completed %d/%d series, want a strict partial", done, len(res.Series))
+	}
+}
+
+// TestExecutorHardErrorFailsStudy: a non-stop executor error must
+// cancel the study like a fail-fast unit failure, not vanish.
+func TestExecutorHardErrorFailsStudy(t *testing.T) {
+	_, err := Run(Config{
+		Scale:      0.001,
+		Thresholds: []float64{100},
+		Benchmarks: []*spec.Benchmark{spec.ByName("gzip")},
+		Executor:   failingExecutor{},
+	})
+	if err == nil || !errors.Is(err, errExecutorBroken) {
+		t.Fatalf("err = %v, want wrapped errExecutorBroken", err)
+	}
+}
+
+var errExecutorBroken = errors.New("executor transport broken")
+
+type failingExecutor struct{}
+
+func (failingExecutor) ExecuteUnit(core.Target, core.Options, <-chan struct{}) (*core.BenchmarkResult, error) {
+	return nil, errExecutorBroken
+}

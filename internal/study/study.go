@@ -116,6 +116,14 @@ type Config struct {
 	// Parallelism values and dispatch paths. Empty (the default) runs
 	// no predictors and leaves every figure byte-identical.
 	Predictors []string
+	// Executor, when non-nil, runs each benchmark unit through it
+	// instead of scheduling directly on the study's pool — the seam the
+	// distributed fleet plugs into (internal/fleet's coordinator is a
+	// UnitExecutor). A *core.LocalExecutor with a nil scheduler is
+	// bound to the study's own shared pool, which reproduces the
+	// default path's concurrency structure exactly and is pinned
+	// byte-identical by TestLocalExecutorEquivalence.
+	Executor core.UnitExecutor
 	// Stop, when non-nil, triggers a graceful drain when it is closed:
 	// in-flight guest runs are interrupted, completed series stay
 	// checkpointed, and Run returns the partial results with ErrStopped.
@@ -140,6 +148,12 @@ func (c *Config) defaults() {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
+
+// Normalize applies the configuration defaults in place without
+// running. Callers that lower the config into another form before Run
+// sees it — the fleet coordinator serializing unit specs — use it so
+// derived values match what Run will resolve.
+func (c *Config) Normalize() { c.defaults() }
 
 // ErrStopped re-exports the scheduler's cooperative-stop sentinel:
 // Run returns it (wrapped) together with the partial results when the
@@ -212,6 +226,46 @@ func EffectiveThreshold(paperT, scale float64) uint64 {
 	return uint64(v + 0.5)
 }
 
+// EffectiveLadder sorts a paper-unit threshold ladder and converts it
+// to the effective values passed to the translator. Run and the fleet
+// worker both build their ladders here, so a distributed unit executes
+// with exactly the thresholds the in-process study would use.
+func EffectiveLadder(paperT []float64, scale float64) (sorted []float64, effective []uint64) {
+	sorted = append([]float64(nil), paperT...)
+	sort.Float64s(sorted)
+	effective = make([]uint64, len(sorted))
+	for i, pt := range sorted {
+		effective[i] = EffectiveThreshold(pt, scale)
+	}
+	return sorted, effective
+}
+
+// UnitOptions builds the core.Options one benchmark unit of this study
+// runs with. It is the single place study configuration is lowered to
+// unit configuration — shared by Run and the fleet worker so that a
+// unit executed on a remote worker is bit-exact with the local path.
+func (c *Config) UnitOptions(thresholds []uint64, timing *core.Timing) core.Options {
+	return core.Options{
+		Thresholds:      thresholds,
+		PoolTrigger:     c.PoolTrigger,
+		Perf:            true,
+		IndependentRuns: c.IndependentRuns,
+		Timing:          timing,
+		Trace:           c.Trace,
+		Faults:          c.Faults,
+		MaxAttempts:     c.MaxAttempts,
+		RetryBackoff:    c.RetryBackoff,
+		Cache:           c.Cache,
+		CacheVerify:     c.CacheVerify,
+		Predictors:      c.Predictors,
+		// Scale is the one study parameter that shapes results
+		// without being visible in image, tape or engine config
+		// (it clamps the effective ladder), so it anchors the key
+		// context. %g is canonical for a given float64.
+		CacheContext: fmt.Sprintf("scale=%g", c.Scale),
+	}
+}
+
 // BenchmarkSeries is one benchmark's complete sweep.
 type BenchmarkSeries struct {
 	Name  string
@@ -236,6 +290,26 @@ type BenchmarkSeries struct {
 	// benchmark's reference trace, in Config.Predictors order; absent
 	// (and omitted from checkpoints) when no predictors were requested.
 	Predictors []predict.Result `json:",omitempty"`
+}
+
+// SeriesFromResult converts one benchmark's completed unit result into
+// its study series, sorting absorbed failures into their deterministic
+// order. Run's completion callback and the fleet worker share this
+// conversion, so a series that crossed the wire is byte-identical to
+// one recorded in-process.
+func SeriesFromResult(b *spec.Benchmark, out *core.BenchmarkResult) BenchmarkSeries {
+	sortFailures(out.Failures)
+	return BenchmarkSeries{
+		Name:         b.Name,
+		Class:        b.Class,
+		Train:        out.Train,
+		TrainRegions: out.TrainRegions,
+		TrainOps:     out.TrainOps,
+		AVEPCycles:   out.AVEPCycles,
+		PerT:         out.Results,
+		Failures:     out.Failures,
+		Predictors:   out.Predictors,
+	}
 }
 
 // ok reports whether the series carries complete measurement data: the
@@ -330,12 +404,7 @@ func Run(cfg Config) (*Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	paperT := append([]float64(nil), cfg.Thresholds...)
-	sort.Float64s(paperT)
-	thresholds := make([]uint64, len(paperT))
-	for i, pt := range paperT {
-		thresholds[i] = EffectiveThreshold(pt, cfg.Scale)
-	}
+	paperT, thresholds := EffectiveLadder(cfg.Thresholds, cfg.Scale)
 
 	res := &Results{Scale: cfg.Scale, PaperT: paperT, Series: make([]BenchmarkSeries, len(cfg.Benchmarks))}
 	ckpt, resumed, err := openCheckpoint(&cfg, paperT)
@@ -374,6 +443,15 @@ func Run(cfg Config) (*Results, error) {
 			progressErrs.Add(1)
 		}
 	}
+	// An executor-mode study routes each benchmark through the
+	// configured UnitExecutor instead of scheduling directly; a
+	// LocalExecutor with no pool of its own is bound to this study's
+	// shared scheduler, making the two paths structurally identical.
+	executor := cfg.Executor
+	if le, ok := executor.(*core.LocalExecutor); ok && le.S == nil {
+		executor = &core.LocalExecutor{S: sched}
+	}
+	var execWG sync.WaitGroup
 	var completions atomic.Int64
 	for i, b := range cfg.Benchmarks {
 		i, b := i, b
@@ -383,38 +461,9 @@ func Run(cfg Config) (*Results, error) {
 			progress(fmt.Sprintf("skip %-8s (%s): restored from checkpoint\n", b.Name, b.Class))
 			continue
 		}
-		opts := core.Options{
-			Thresholds:      thresholds,
-			PoolTrigger:     cfg.PoolTrigger,
-			Perf:            true,
-			IndependentRuns: cfg.IndependentRuns,
-			Timing:          &timing,
-			Trace:           cfg.Trace,
-			Faults:          cfg.Faults,
-			MaxAttempts:     cfg.MaxAttempts,
-			RetryBackoff:    cfg.RetryBackoff,
-			Cache:           cfg.Cache,
-			CacheVerify:     cfg.CacheVerify,
-			Predictors:      cfg.Predictors,
-			// Scale is the one study parameter that shapes results
-			// without being visible in image, tape or engine config
-			// (it clamps the effective ladder), so it anchors the key
-			// context. %g is canonical for a given float64.
-			CacheContext: fmt.Sprintf("scale=%g", cfg.Scale),
-		}
-		core.ScheduleBenchmark(sched, b.Target(cfg.Scale), opts, func(out *core.BenchmarkResult) {
-			sortFailures(out.Failures)
-			res.Series[i] = BenchmarkSeries{
-				Name:         b.Name,
-				Class:        b.Class,
-				Train:        out.Train,
-				TrainRegions: out.TrainRegions,
-				TrainOps:     out.TrainOps,
-				AVEPCycles:   out.AVEPCycles,
-				PerT:         out.Results,
-				Failures:     out.Failures,
-				Predictors:   out.Predictors,
-			}
+		opts := cfg.UnitOptions(thresholds, &timing)
+		record := func(out *core.BenchmarkResult) {
+			res.Series[i] = SeriesFromResult(b, out)
 			if len(out.Failures) == 0 {
 				ckpt.commit(res.Series[i], cfg.Trace)
 				progress(fmt.Sprintf("done %-8s (%s): train Sd.BP=%.3f mismatch=%.1f%%\n",
@@ -426,8 +475,29 @@ func Run(cfg Config) (*Results, error) {
 			if n := cfg.StopAfter; n > 0 && completions.Add(1) == int64(n) {
 				sched.Stop()
 			}
-		})
+		}
+		if executor == nil {
+			core.ScheduleBenchmark(sched, b.Target(cfg.Scale), opts, record)
+			continue
+		}
+		execWG.Add(1)
+		go func() {
+			defer execWG.Done()
+			out, err := executor.ExecuteUnit(b.Target(cfg.Scale), opts, sched.Done())
+			if err != nil {
+				// A cancelled unit is the expected shape of a study
+				// stop or another unit's fail-fast error — not a new
+				// failure. Anything else cancels the pool (first
+				// error wins, like a direct unit failure).
+				if !errors.Is(err, core.ErrStopped) {
+					sched.Fail(fmt.Errorf("executor: %s: %w", b.Name, err))
+				}
+				return
+			}
+			record(out)
+		}()
 	}
+	execWG.Wait()
 	werr := sched.Wait()
 	if werr != nil && !errors.Is(werr, core.ErrStopped) {
 		return nil, fmt.Errorf("study: %w", werr)
