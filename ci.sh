@@ -121,6 +121,80 @@ grep -q "perceptron" "$tmpdir/pred1.txt"
 # same configuration without predictors.
 cmp "$tmpdir/full.txt" "$tmpdir/fig8-pred.txt"
 
+echo "== sampling smoke (-race) =="
+# Sampled-profiling frontier (DESIGN §3i): a cold sweep populates the
+# cache and the warm rerun must replay it byte-identically at zero
+# guest blocks; the measured cost ratio must fall monotonically with
+# the period from exactly 1 at period 1; and enabling the sweep must
+# not move a byte of the paper figures.
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -sampleperiods 1,4,16 \
+    -fig figs1,figs2 -cache "$tmpdir/spcache" \
+    -benchjson "$tmpdir/sp-cold.json" > "$tmpdir/sp-cold.txt" 2> /dev/null
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -sampleperiods 1,4,16 \
+    -fig figs1,figs2 -cache "$tmpdir/spcache" \
+    -benchjson "$tmpdir/sp-warm.json" > "$tmpdir/sp-warm.txt" 2> /dev/null
+cmp "$tmpdir/sp-cold.txt" "$tmpdir/sp-warm.txt"
+# The cold run executed sampled units; the warm rerun replayed
+# everything — zero guest blocks, zero sampled units (sampled_units is
+# omitted from the JSON when zero, so its absence is the assertion).
+grep -q '"sampled_units"' "$tmpdir/sp-cold.json"
+grep -q '"blocks_executed": 0' "$tmpdir/sp-warm.json"
+if grep -q '"sampled_units"' "$tmpdir/sp-warm.json"; then
+    echo "warm sampling rerun reports sampled execution" >&2
+    exit 1
+fi
+# Monotone cost: in the figs2 table both classes' measured cost ratios
+# (columns 3 and 5) strictly fall as the period grows.
+awk '/^== figs2/ { infig = 1; next }
+    infig && /^T / { next }
+    infig && /^note/ { infig = 0; next }
+    infig && /^[0-9]/ {
+        if (n == 0 && ($3 != "1.0000" || $5 != "1.0000")) {
+            print "period-1 cost ratio is not 1.0000: " $0 > "/dev/stderr"
+            bad = 1; exit 1
+        }
+        if (n > 0 && ($3 + 0 >= prev3 || $5 + 0 >= prev5)) {
+            print "cost ratio not monotone at period " $1 ": " $0 > "/dev/stderr"
+            bad = 1; exit 1
+        }
+        prev3 = $3 + 0; prev5 = $5 + 0; n++
+    }
+    END {
+        if (!bad && n < 3) {
+            print "figs2 table rows missing (saw " n ")" > "/dev/stderr"
+            exit 1
+        }
+    }' "$tmpdir/sp-cold.txt"
+# full.txt is the kill-and-resume smoke's uninterrupted fig8 run of
+# the same configuration without sampling.
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -sampleperiods 1,4,16 \
+    -fig fig8 > "$tmpdir/fig8-sp.txt"
+cmp "$tmpdir/full.txt" "$tmpdir/fig8-sp.txt"
+# No orphaned atomic-write temporaries in the sampling cache.
+leftovers=$(find "$tmpdir/spcache" -name '.*.tmp*')
+if [ -n "$leftovers" ]; then
+    echo "orphaned atomic-write temporaries after sampling smoke:" >&2
+    echo "$leftovers" >&2
+    exit 1
+fi
+
+echo "== coverage floors =="
+# Statement-coverage floors for the two packages the sampling test net
+# leans on hardest: comfortably below the measured values (79%/90% at
+# the time the floors were set) so flaky skips cannot trip them, high
+# enough that deleting a test suite does.
+go test -cover ./internal/dbt/ ./internal/study/ > "$tmpdir/cover.txt"
+awk '{
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") {
+        split($(i + 1), a, "%"); cov = a[1] + 0
+        floor = ($2 ~ /internal\/dbt$/) ? 75 : 85
+        if (cov < floor) {
+            printf "%s coverage %.1f%% below floor %d%%\n", $2, cov, floor > "/dev/stderr"
+            exit 1
+        }
+    }
+}' "$tmpdir/cover.txt"
+
 echo "== perf smoke =="
 # Hot-loop throughput gate against the committed floors in
 # BENCH_floor.json (see its comment for how the baselines were chosen:
@@ -424,5 +498,6 @@ go test -run='^$' -fuzz='^FuzzFaultSpec$' -fuzztime=10s ./internal/faultinject/
 go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s ./internal/study/
 go test -run='^$' -fuzz='^FuzzExecPaths$' -fuzztime=10s ./internal/dbt/
 go test -run='^$' -fuzz='^FuzzPredictReplay$' -fuzztime=10s ./internal/dbt/
+go test -run='^$' -fuzz='^FuzzSampledReplay$' -fuzztime=10s ./internal/dbt/
 
 echo "CI OK"

@@ -9,6 +9,7 @@
 //	dbtrun -image prog.sg32 -T 0            # AVEP (no optimization)
 //	dbtrun -asm prog.s -T 500 -stats -dump
 //	dbtrun -bench gzip -T 500 -trace run.jsonl
+//	dbtrun -bench mcf -T 500 -sampleperiod 16   # LBR-style sampled profiling
 //
 // -T 0 disables the optimization phase (an AVEP/average-profile run);
 // any other value is the retranslation threshold.
@@ -37,21 +38,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dbtrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		benchName = fs.String("bench", "", "synthetic SPEC2000 benchmark name")
-		imageFile = fs.String("image", "", "SG32 binary image to run")
-		asmFile   = fs.String("asm", "", "SG32 assembler source to run")
-		input     = fs.String("input", "ref", "input name: ref or train")
-		scale     = fs.Float64("scale", 1.0, "benchmark scale factor (with -bench)")
-		threshold = fs.Uint64("T", 0, "retranslation threshold; 0 = no optimization (AVEP)")
-		seed      = fs.String("seed", "", "tape seed override (defaults to <name>/<input>)")
-		outFile   = fs.String("o", "", "write the profile snapshot as JSON to this file")
-		dump      = fs.Bool("dump", false, "print a human-readable profile dump")
-		stats     = fs.Bool("stats", false, "print run statistics")
-		perf      = fs.Bool("perf", false, "enable the cycle model and report simulated cycles")
-		adaptive  = fs.Bool("adaptive", false, "dissolve and rebuild regions whose side-exit rate shows a behaviour change")
-		contTrip  = fs.Bool("continuous-trips", false, "keep loop-back instrumentation alive in optimized loop regions")
-		converge  = fs.Float64("converge", 0, "register blocks on probability convergence with this epsilon (0 = fixed threshold)")
-		traceFile = fs.String("trace", "", "append a flight-recorder event for this run as JSONL to this file")
+		benchName    = fs.String("bench", "", "synthetic SPEC2000 benchmark name")
+		imageFile    = fs.String("image", "", "SG32 binary image to run")
+		asmFile      = fs.String("asm", "", "SG32 assembler source to run")
+		input        = fs.String("input", "ref", "input name: ref or train")
+		scale        = fs.Float64("scale", 1.0, "benchmark scale factor (with -bench)")
+		threshold    = fs.Uint64("T", 0, "retranslation threshold; 0 = no optimization (AVEP)")
+		seed         = fs.String("seed", "", "tape seed override (defaults to <name>/<input>)")
+		outFile      = fs.String("o", "", "write the profile snapshot as JSON to this file")
+		dump         = fs.Bool("dump", false, "print a human-readable profile dump")
+		stats        = fs.Bool("stats", false, "print run statistics")
+		perf         = fs.Bool("perf", false, "enable the cycle model and report simulated cycles")
+		adaptive     = fs.Bool("adaptive", false, "dissolve and rebuild regions whose side-exit rate shows a behaviour change")
+		contTrip     = fs.Bool("continuous-trips", false, "keep loop-back instrumentation alive in optimized loop regions")
+		converge     = fs.Float64("converge", 0, "register blocks on probability convergence with this epsilon (0 = fixed threshold)")
+		traceFile    = fs.String("trace", "", "append a flight-recorder event for this run as JSONL to this file")
+		samplePeriod = fs.Uint64("sampleperiod", 0, "sampled-profiling period: update profiling counters only every Nth block event (0 or 1 = full instrumentation)")
+		sampleSeed   = fs.Uint64("sampleseed", 0, "seed of the sampled-profiling stride phase (with -sampleperiod)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		RegisterTwice:       true,
 		Adaptive:            *adaptive,
 		ContinuousTripCount: *contTrip,
+		SamplePeriod:        *samplePeriod,
+		SampleSeed:          *sampleSeed,
 	}
 	if *converge > 0 {
 		cfg.ConvergeRegister = true

@@ -20,6 +20,7 @@
 //	inipstudy -cache results.cache               # memoize unit results on disk
 //	inipstudy -cache results.cache -cacheverify  # differential cache self-check
 //	inipstudy -predictors all                    # dynamic-predictor zoo (figp1/figp2)
+//	inipstudy -sampleperiods 1,4,16,64           # sampled-profiling frontier (figs1/figs2)
 //
 // The default scale of 1.0 runs the paper's actual threshold ladder
 // 100..4M (a few minutes); -scale 0.1 gives a quick low-resolution pass.
@@ -174,6 +175,24 @@ func writeBenchJSON(path string, res *study.Results, nbench int, base float64, h
 	return na, atomicio.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// parseSamplePeriods parses the -sampleperiods flag: a comma-separated
+// list of positive integers. study.Config.Validate rejects duplicates
+// and zeros again, but parsing here gives flag-shaped errors up front.
+func parseSamplePeriods(v string) ([]uint64, error) {
+	if v == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, s := range strings.Split(v, ",") {
+		p, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("invalid sample period %q (want a positive integer)", strings.TrimSpace(s))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // summarizeTrace renders a recorded flight-recorder file (-tracesum).
 func summarizeTrace(path string, stdout io.Writer) error {
 	f, err := os.Open(path)
@@ -220,16 +239,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the study to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile taken after the study to this file")
 
-		failPolicy   = fs.String("failpolicy", "failfast", "on unit failure: 'failfast' cancels the study, 'degrade' drops the failing benchmark and completes the rest")
-		retry        = fs.Int("retry", 0, "max attempts per pipeline unit before its failure is permanent (0 or 1 = no retry)")
-		retryBackoff = fs.Duration("retrybackoff", 0, "wait before the second attempt of a failed unit, doubling each further attempt")
-		inject       = fs.String("inject", "", "deterministic fault-injection spec for robustness testing, e.g. 'build:gzip/ref' or 'trap:mcf/train@1000' (see internal/faultinject)")
-		checkpoint   = fs.String("checkpoint", "", "persist completed benchmarks to this JSONL file as they finish")
-		resume       = fs.Bool("resume", false, "restore completed benchmarks from -checkpoint and run only the remainder")
-		stopAfter    = fs.Int("stopafter", 0, "stop gracefully after this many benchmark completions (testing hook for resume)")
-		cacheDir     = fs.String("cache", "", "memoize unit results in this content-addressed directory; a warm rerun of an unchanged study executes zero guest blocks")
-		cacheVerify  = fs.Bool("cacheverify", false, "execute every unit despite cache hits and hard-error if a cached value diverges (requires -cache)")
-		predictors   = fs.String("predictors", "", "comma-separated dynamic branch predictors to run over each reference trace (taken,nottaken,1bit,2bit,gshare,perceptron or 'all'); adds figp1/figp2 without touching the paper figures")
+		failPolicy    = fs.String("failpolicy", "failfast", "on unit failure: 'failfast' cancels the study, 'degrade' drops the failing benchmark and completes the rest")
+		retry         = fs.Int("retry", 0, "max attempts per pipeline unit before its failure is permanent (0 or 1 = no retry)")
+		retryBackoff  = fs.Duration("retrybackoff", 0, "wait before the second attempt of a failed unit, doubling each further attempt")
+		inject        = fs.String("inject", "", "deterministic fault-injection spec for robustness testing, e.g. 'build:gzip/ref' or 'trap:mcf/train@1000' (see internal/faultinject)")
+		checkpoint    = fs.String("checkpoint", "", "persist completed benchmarks to this JSONL file as they finish")
+		resume        = fs.Bool("resume", false, "restore completed benchmarks from -checkpoint and run only the remainder")
+		stopAfter     = fs.Int("stopafter", 0, "stop gracefully after this many benchmark completions (testing hook for resume)")
+		cacheDir      = fs.String("cache", "", "memoize unit results in this content-addressed directory; a warm rerun of an unchanged study executes zero guest blocks")
+		cacheVerify   = fs.Bool("cacheverify", false, "execute every unit despite cache hits and hard-error if a cached value diverges (requires -cache)")
+		predictors    = fs.String("predictors", "", "comma-separated dynamic branch predictors to run over each reference trace (taken,nottaken,1bit,2bit,gshare,perceptron or 'all'); adds figp1/figp2 without touching the paper figures")
+		samplePeriods = fs.String("sampleperiods", "", "comma-separated sampled-profiling periods to sweep (e.g. 1,4,16,64); adds figs1/figs2 without touching the paper figures")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -325,6 +345,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg.Predictors = preds
+	periods, perr := parseSamplePeriods(*samplePeriods)
+	if perr != nil {
+		fmt.Fprintf(stderr, "inipstudy: %v\n", perr)
+		return 2
+	}
+	cfg.SamplePeriods = periods
 	if *cacheVerify && *cacheDir == "" {
 		fmt.Fprintln(stderr, "inipstudy: -cacheverify requires -cache")
 		return 2

@@ -78,6 +78,15 @@ type bpEntry struct {
 	Results []predict.Result `json:"results"`
 }
 
+// spEntry is the cached output of one sampled-profiling ladder: every
+// distinct-threshold run of one sample period over the reference
+// input, in ladder (config) order. The comparisons against AVEP are
+// not cached — they are cheap and recomputed on warm reruns.
+type spEntry struct {
+	Period uint64      `json:"period"`
+	Runs   []runOutput `json:"runs"`
+}
+
 // cacheUsable reports whether this benchmark's units may consult the
 // result cache at all. Fault plans perturb runs, and a target without a
 // declarative tape identity leaves the key closure incomplete — in both
@@ -217,6 +226,38 @@ func bpEntryMatches(ent *bpEntry, names []string) bool {
 func (b *benchRun) bpCacheKey(imgHash string) resultcache.Key {
 	return b.cacheKey("bp", imgHash, b.t.TapeID("ref"),
 		"predictors="+strings.Join(b.opts.Predictors, ","), 0)
+}
+
+// spEntryMatches sanity-checks a decoded sampled-ladder entry against
+// the period and configs the pipeline is about to serve; a mismatch is
+// treated as a miss.
+func spEntryMatches(ent *spEntry, period uint64, cfgs []dbt.Config) bool {
+	if ent.Period != period || len(ent.Runs) != len(cfgs) {
+		return false
+	}
+	for j, ro := range ent.Runs {
+		if ro.Snapshot == nil || ro.T != cfgs[j].Threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// spCacheKey keys one sampled-profiling ladder. Each config's
+// fingerprint already carries the period and seed (";sample=..."), so
+// the joined engine component pins the whole bundle; T carries the
+// period to keep entries of one sweep distinguishable in traces. The
+// key is identical in shared-trace and independent-runs mode, so the
+// modes warm each other.
+func (b *benchRun) spCacheKey(imgHash string, period uint64, cfgs []dbt.Config) resultcache.Key {
+	engines := make([]byte, 0, 64*len(cfgs))
+	for i, cfg := range cfgs {
+		if i > 0 {
+			engines = append(engines, '|')
+		}
+		engines = append(engines, cfg.Fingerprint()...)
+	}
+	return b.cacheKey("sp", imgHash, b.t.TapeID("ref"), string(engines), period)
 }
 
 // runCacheKey keys one profiled execution (train, or an independent

@@ -122,6 +122,19 @@ type Options struct {
 	// Empty runs no predictors, and every existing output is
 	// byte-identical to a run without the field.
 	Predictors []string
+	// SamplePeriods is the ladder of sampled-profiling periods to sweep
+	// (dbt.Config.SamplePeriod): for each period the whole INIP(T)
+	// threshold ladder is rerun with sampled counters and compared to
+	// the full-instrumentation AVEP, filling BenchmarkResult.Sampling.
+	// In shared-trace mode the sampled runs ride the same reference
+	// trace as extra followers — the guest still executes exactly once —
+	// so the full-instrumentation figures stay byte-identical to a run
+	// without the field. Empty runs no sampled ladders.
+	SamplePeriods []uint64
+	// SampleSeed seeds the stride phase of every sampled run
+	// (dbt.Config.SampleSeed); it participates in the sampled cache
+	// keys.
+	SampleSeed uint64
 	// Workers bounds RunBenchmark's own scheduler when it is not given
 	// one (default GOMAXPROCS).
 	Workers int
@@ -173,6 +186,14 @@ type Timing struct {
 	// BlocksExecuted totals dynamic block executions over all run units
 	// (each profiling context counts its own pass over the trace).
 	BlocksExecuted atomic.Uint64
+	// SampledUnits counts executed (cold) sampled-profiling contexts and
+	// SampledProfilingOps totals their actual counter updates — sampled
+	// units, not scaled estimates, so the ratio against the
+	// full-instrumentation ops is the real cost side of the sampling
+	// frontier. Warm (cache-replayed) sampled ladders add nothing, like
+	// BlocksExecuted.
+	SampledUnits        atomic.Int64
+	SampledProfilingOps atomic.Uint64
 	// Retries counts failed unit attempts that were run again.
 	Retries atomic.Int64
 
@@ -216,6 +237,27 @@ type ThresholdResult struct {
 	Snapshot     *profile.Snapshot // nil unless Options.KeepSnapshots
 }
 
+// SampleThresholdResult is one rung of a sampled-profiling ladder: the
+// INIP(T) run rerun with dbt.Config.SamplePeriod set, compared against
+// the same full-instrumentation AVEP as the main ladder.
+type SampleThresholdResult struct {
+	T       uint64          `json:"t"`
+	Summary metrics.Summary `json:"summary"`
+	// ProfilingOps is the run's actual counter-update total — sampled
+	// events, not scaled estimates — so its ratio against the matching
+	// full-instrumentation rung's ProfilingOps is the measured profiling
+	// cost of the period.
+	ProfilingOps uint64  `json:"profiling_ops"`
+	Cycles       float64 `json:"cycles"`
+}
+
+// SamplePeriodResult is the whole threshold ladder rerun at one sampled
+// profiling period, in Options.Thresholds order.
+type SamplePeriodResult struct {
+	Period uint64                  `json:"period"`
+	PerT   []SampleThresholdResult `json:"per_t"`
+}
+
 // UnitFailure records one unit whose failure was absorbed under the
 // Degrade policy: which unit of which benchmark failed, after how many
 // attempts, and with what error. A benchmark with failures has
@@ -257,6 +299,10 @@ type BenchmarkResult struct {
 	// reference trace, so the tallies are threshold-independent and
 	// identical across worker counts and dispatch paths.
 	Predictors []predict.Result
+	// Sampling holds one rerun ladder per requested sampled-profiling
+	// period, in Options.SamplePeriods order. Nil when no periods were
+	// requested.
+	Sampling []SamplePeriodResult
 	// Failures lists the units that failed permanently under the Degrade
 	// policy, in completion order (callers that need a stable order sort
 	// by unit and threshold). Empty on a clean run; under FailFast the
@@ -423,11 +469,11 @@ func (b *benchRun) recordEv(unit string, threshold uint64, worker int, start tim
 		switch unit {
 		case obs.UnitBuild:
 			tm.Build.Add(int64(dur))
-		case obs.UnitRef:
+		case obs.UnitRef, obs.UnitSample:
 			tm.RefRuns.Add(int64(dur))
 		case obs.UnitTrain:
 			tm.TrainRuns.Add(int64(dur))
-		case obs.UnitCompare, obs.UnitTrainCompare:
+		case obs.UnitCompare, obs.UnitTrainCompare, obs.UnitSampleCompare:
 			tm.Compare.Add(int64(dur))
 		}
 	}
@@ -439,6 +485,16 @@ func (b *benchRun) recordEv(unit string, threshold uint64, worker int, start tim
 func (b *benchRun) addRunStats(st *dbt.RunStats) {
 	if b.opts.Timing != nil {
 		b.opts.Timing.AddRunStats(st)
+	}
+}
+
+// addSampleStats folds one executed sampled context's profiling volume
+// into the study aggregate. Called only on cold paths, so warm reruns
+// report zero sampled units, mirroring BlocksExecuted.
+func (b *benchRun) addSampleStats(snap *profile.Snapshot) {
+	if tm := b.opts.Timing; tm != nil {
+		tm.SampledUnits.Add(1)
+		tm.SampledProfilingOps.Add(snap.ProfilingOps)
 	}
 }
 
@@ -470,9 +526,13 @@ func scheduleBenchmark(s *Scheduler, t Target, opts Options, onDone func(*Benchm
 		onDone: onDone,
 		build:  newBuildCache(t, opts.Faults),
 	}
+	if len(opts.SamplePeriods) > 0 {
+		b.out.Sampling = make([]SamplePeriodResult, len(opts.SamplePeriods))
+	}
 	// Work items: reference unit, training unit, training comparison,
-	// and one comparison per threshold.
-	b.remaining = len(opts.Thresholds) + 3
+	// one comparison per threshold, and one sampled-ladder comparison
+	// per requested sample period.
+	b.remaining = len(opts.Thresholds) + 3 + len(opts.SamplePeriods)
 	if t.Build == nil {
 		s.GoW(func(w int) error {
 			_, err := b.execute(obs.UnitBuild, 0, w, b.cancelAll, func() error {
@@ -593,10 +653,14 @@ func (b *benchRun) recordFailure(unit string, t uint64, attempts int, err error)
 
 // cancelRef retires everything the reference unit owes when it fails:
 // its own work item, every ladder comparison it would have spawned,
-// and the training comparison (unreachable without the AVEP snapshot).
+// every sampled-ladder comparison (unreachable without the AVEP
+// snapshot), and the training comparison (likewise).
 func (b *benchRun) cancelRef() {
 	b.retireTrainCompareOnce()
 	for range b.opts.Thresholds {
+		b.finishItem()
+	}
+	for range b.opts.SamplePeriods {
 		b.finishItem()
 	}
 	b.finishItem()
@@ -667,6 +731,41 @@ func (b *benchRun) settlePredictors(suite *predict.Suite, useCache, bpHit bool, 
 		return b.cacheSettle(bpKey, bpHit, bpEntry{Results: b.out.Predictors}, bpCached, worker)
 	}
 	return nil
+}
+
+// distinctRungs deduplicates the threshold ladder: a ladder scaled far
+// down collapses — several paper-unit rungs clamp to the same effective
+// threshold — and identical configs would run identical engines. It
+// returns the distinct thresholds in first-appearance order and
+// rungs[j], the ladder indexes served by distinct[j]; results computed
+// once per distinct threshold fan out to every collapsed rung under its
+// own paper-unit label.
+func (b *benchRun) distinctRungs() (distinct []uint64, rungs [][]int) {
+	byThreshold := make(map[uint64]int, len(b.opts.Thresholds))
+	for i, threshold := range b.opts.Thresholds {
+		if j, ok := byThreshold[threshold]; ok {
+			rungs[j] = append(rungs[j], i)
+			continue
+		}
+		byThreshold[threshold] = len(rungs)
+		rungs = append(rungs, []int{i})
+		distinct = append(distinct, threshold)
+	}
+	return distinct, rungs
+}
+
+// sampleConfigs builds one sampled-profiling period's configs over the
+// distinct thresholds: the INIP(T) config with the sampling stride
+// switched on.
+func (b *benchRun) sampleConfigs(period uint64, distinct []uint64) []dbt.Config {
+	cfgs := make([]dbt.Config, len(distinct))
+	for j, threshold := range distinct {
+		cfg := b.dbtConfig("ref", threshold, true)
+		cfg.SamplePeriod = period
+		cfg.SampleSeed = b.opts.SampleSeed
+		cfgs[j] = cfg
+	}
+	return cfgs
 }
 
 // refUnit produces the AVEP snapshot (and, in shared-trace mode, every
@@ -761,24 +860,40 @@ func (b *benchRun) refBody(worker int) error {
 			i, threshold := i, threshold
 			b.s.GoW(func(w int) error { return b.inipUnit(i, threshold, w) })
 		}
+		for pi, period := range b.opts.SamplePeriods {
+			pi, period := pi, period
+			b.s.GoW(func(w int) error { return b.samplePeriodUnit(pi, period, w) })
+		}
 	} else {
-		// A ladder scaled far down collapses: several paper-unit rungs
-		// clamp to the same effective threshold, and identical configs
-		// would replay identical follower engines. Deduplicate — one
-		// follower per distinct threshold — and fan the shared result
-		// out to every collapsed rung (figure labels keep paper units).
-		cfgs := make([]dbt.Config, 0, len(b.opts.Thresholds)+1)
+		// Deduplicate the ladder (see distinctRungs): one follower per
+		// distinct threshold, shared results fanned out to every
+		// collapsed rung.
+		distinct, rungs := b.distinctRungs()
+		cfgs := make([]dbt.Config, 0, len(distinct)+1)
 		cfgs = append(cfgs, avepCfg)
-		var rungs [][]int // rungs[j]: ladder indexes served by cfgs[j+1]
-		byThreshold := make(map[uint64]int, len(b.opts.Thresholds))
-		for i, threshold := range b.opts.Thresholds {
-			if j, ok := byThreshold[threshold]; ok {
-				rungs[j] = append(rungs[j], i)
-				continue
-			}
-			byThreshold[threshold] = len(rungs)
-			rungs = append(rungs, []int{i})
+		for _, threshold := range distinct {
 			cfgs = append(cfgs, b.dbtConfig("ref", threshold, true))
+		}
+		// Sampled ladders ride the same reference trace as additional
+		// followers — the guest still executes exactly once — and each
+		// period has its own cache entry, so the sweep warms
+		// incrementally and the main reference bundle's entry stays
+		// byte-identical to a run without sampling.
+		periods := b.opts.SamplePeriods
+		spCfgs := make([][]dbt.Config, len(periods))
+		spKeys := make([]resultcache.Key, len(periods))
+		spCached := make([]spEntry, len(periods))
+		spHits := make([]bool, len(periods))
+		allSpHit := true
+		for pi, period := range periods {
+			spCfgs[pi] = b.sampleConfigs(period, distinct)
+			if useCache {
+				spKeys[pi] = b.spCacheKey(b.refImgHash, period, spCfgs[pi])
+				spHits[pi] = b.cacheLookup(spKeys[pi], &spCached[pi], worker) && spEntryMatches(&spCached[pi], period, spCfgs[pi])
+			}
+			if !spHits[pi] {
+				allSpHit = false
+			}
 		}
 		var key resultcache.Key
 		var cached refEntry
@@ -787,7 +902,7 @@ func (b *benchRun) refBody(worker int) error {
 			key = b.refCacheKey(b.refImgHash, cfgs)
 			hit = b.cacheLookup(key, &cached, worker) && refEntryMatches(&cached, cfgs)
 		}
-		if hit && (len(preds) == 0 || bpHit) && !b.opts.CacheVerify {
+		if hit && (len(preds) == 0 || bpHit) && allSpHit && !b.opts.CacheVerify {
 			// Warm path: replay the whole reference bundle without
 			// executing a single guest block. addRunStats is deliberately
 			// not called — a fully cached benchmark reports zero blocks.
@@ -799,13 +914,21 @@ func (b *benchRun) refBody(worker int) error {
 				idxs, ro := rungs[j], cached.Runs[j]
 				b.s.GoW(func(w int) error { return b.compareUnit(idxs, ro, w) })
 			}
+			for pi := range periods {
+				pi, outs := pi, spCached[pi].Runs
+				b.s.GoW(func(w int) error { return b.sampleCompareUnit(pi, rungs, outs, w) })
+			}
 		} else {
 			suite, observers, err := newPredictSuite(preds)
 			if err != nil {
 				return err
 			}
+			runCfgs := cfgs
+			for _, sc := range spCfgs {
+				runCfgs = append(runCfgs, sc...)
+			}
 			start = time.Now()
-			snaps, stats, err := dbt.RunMultiObserved(img, tape, cfgs, observers)
+			snaps, stats, err := dbt.RunMultiObserved(img, tape, runCfgs, observers)
 			if err != nil {
 				err = fmt.Errorf("core: reference runs of %s: %w", b.t.Name, err)
 				b.record(obs.UnitRef, 0, worker, start, 0, err)
@@ -833,6 +956,23 @@ func (b *benchRun) refBody(worker int) error {
 			for j := range rungs {
 				idxs, ro := rungs[j], outs[j]
 				b.s.GoW(func(w int) error { return b.compareUnit(idxs, ro, w) })
+			}
+			base := 1 + len(rungs)
+			for pi, period := range periods {
+				spOuts := make([]runOutput, len(rungs))
+				for j := range rungs {
+					k := base + pi*len(rungs) + j
+					cfg := runCfgs[k]
+					spOuts[j] = runOutput{T: cfg.Threshold, Snapshot: snaps[k], Stats: *stats[k], Cycles: cyclesOf(cfg)}
+					b.addSampleStats(snaps[k])
+				}
+				if useCache {
+					if err := b.cacheSettle(spKeys[pi], spHits[pi], spEntry{Period: period, Runs: spOuts}, spCached[pi], worker); err != nil {
+						return err
+					}
+				}
+				pi, spOuts := pi, spOuts
+				b.s.GoW(func(w int) error { return b.sampleCompareUnit(pi, rungs, spOuts, w) })
 			}
 		}
 	}
@@ -972,6 +1112,102 @@ func (b *benchRun) publishThresholdResults(idxs []int, ro runOutput, summary met
 		b.out.Results[i] = tr
 		b.finishItem()
 	}
+}
+
+// samplePeriodUnit reruns the distinct-threshold ladder at one sampled
+// profiling period in independent mode and compares it inline. Its
+// failure retires exactly its own work item.
+func (b *benchRun) samplePeriodUnit(pi int, period uint64, worker int) error {
+	_, err := b.execute(obs.UnitSample, period, worker, b.finishItem, func() error {
+		return b.samplePeriodBody(pi, period, worker)
+	})
+	return err
+}
+
+func (b *benchRun) samplePeriodBody(pi int, period uint64, worker int) error {
+	start := time.Now()
+	img, tape, err := b.build.get("ref")
+	b.record(obs.UnitBuild, period, worker, start, 0, err)
+	if err != nil {
+		return err
+	}
+	distinct, rungs := b.distinctRungs()
+	cfgs := b.sampleConfigs(period, distinct)
+	useCache := b.cacheUsable()
+	var key resultcache.Key
+	var cached spEntry
+	hit := false
+	if useCache {
+		key = b.spCacheKey(b.refImgHash, period, cfgs)
+		hit = b.cacheLookup(key, &cached, worker) && spEntryMatches(&cached, period, cfgs)
+		if hit && !b.opts.CacheVerify {
+			return b.sampleCompareBody(pi, period, rungs, cached.Runs, worker)
+		}
+	}
+	// RunMulti's driver (cfgs[0]) executes the guest, the remaining
+	// rungs replay its trace — one execution per period, same results as
+	// one run per rung. The cache entry is keyed identically to the
+	// shared-trace follower bundle, so the modes warm each other.
+	start = time.Now()
+	snaps, stats, err := dbt.RunMulti(img, tape, cfgs)
+	if err != nil {
+		err = fmt.Errorf("core: sampled ladder (period %d) of %s: %w", period, b.t.Name, err)
+		b.record(obs.UnitSample, period, worker, start, 0, err)
+		return err
+	}
+	outs := make([]runOutput, len(cfgs))
+	for j, cfg := range cfgs {
+		b.addRunStats(stats[j])
+		b.addSampleStats(snaps[j])
+		outs[j] = runOutput{T: cfg.Threshold, Snapshot: snaps[j], Stats: *stats[j], Cycles: cyclesOf(cfg)}
+	}
+	b.recordRun(obs.UnitSample, period, worker, start, stats...)
+	if useCache {
+		if err := b.cacheSettle(key, hit, spEntry{Period: period, Runs: outs}, cached, worker); err != nil {
+			return err
+		}
+	}
+	return b.sampleCompareBody(pi, period, rungs, outs, worker)
+}
+
+// sampleCompareUnit is the scheduled sampled-ladder comparison of
+// shared-trace mode. Its failure retires exactly its period's item.
+func (b *benchRun) sampleCompareUnit(pi int, rungs [][]int, outs []runOutput, worker int) error {
+	period := b.opts.SamplePeriods[pi]
+	_, err := b.execute(obs.UnitSampleCompare, period, worker, b.finishItem, func() error {
+		return b.sampleCompareBody(pi, period, rungs, outs, worker)
+	})
+	return err
+}
+
+// sampleCompareBody evaluates one period's sampled ladder against the
+// AVEP memo and publishes the period's result (the index is
+// period-owned, so the write needs no lock). Only the runs are cached —
+// the comparisons are recomputed even on a warm rerun, which still
+// executes zero guest blocks and pays only the cheap normalizations.
+func (b *benchRun) sampleCompareBody(pi int, period uint64, rungs [][]int, outs []runOutput, worker int) error {
+	start := time.Now()
+	perT := make([]SampleThresholdResult, len(b.opts.Thresholds))
+	for j, ro := range outs {
+		summary, _, err := Compare(ro.Snapshot, b.out.AVEP)
+		if err != nil {
+			err = fmt.Errorf("core: sampled INIP(%d) comparison (period %d) of %s: %w", ro.T, period, b.t.Name, err)
+			b.record(obs.UnitSampleCompare, period, worker, start, 0, err)
+			return err
+		}
+		for _, i := range rungs[j] {
+			perT[i] = SampleThresholdResult{
+				T:            b.opts.Thresholds[i],
+				Summary:      summary,
+				ProfilingOps: ro.Snapshot.ProfilingOps,
+				Cycles:       ro.Cycles,
+			}
+		}
+	}
+	b.record(obs.UnitSampleCompare, period, worker, start, 0, nil)
+	b.out.Sampling[pi] = SamplePeriodResult{Period: period, PerT: perT}
+	b.finishItem()
+	return nil
 }
 
 // trainUnit runs INIP(train) and stores its snapshot for the training

@@ -120,6 +120,30 @@ type Config struct {
 	ConvergeRegister bool
 	ConvergeEpsilon  float64 // default 0.02
 	ConvergeMinUse   uint64  // default 32
+
+	// SamplePeriod enables sampled profiling: the use/taken counters of
+	// unfrozen blocks update only on every SamplePeriod-th dynamic block
+	// event of this engine (an LBR-style deterministic stride), instead
+	// of on every execution. 0 (the default) and 1 both mean full
+	// instrumentation; 0 keeps today's code paths and fingerprint
+	// byte-identical, 1 exercises the sampling machinery and is proven
+	// equal to 0 by the determinism tests. Sampled counters are held in
+	// sampled units internally and scaled by the period wherever full
+	// counts are consumed (region formation, snapshots), so the
+	// profile → region → threshold pipeline sees estimates of the full
+	// counts; the registration threshold is likewise rescaled to
+	// ceil(Threshold/SamplePeriod) sampled hits. ProfilingOps counts the
+	// counter updates actually performed — the real profiling cost the
+	// sampling frontier measures. The stride depends only on the
+	// engine's own block-event count, so snapshots are bit-reproducible
+	// across serial runs, shared-trace replay, worker counts, and the
+	// fast/generic dispatch paths.
+	SamplePeriod uint64
+	// SampleSeed seeds the stride's deterministic phase (which of the
+	// first SamplePeriod events is sampled first). The same seed always
+	// yields the same phase; different seeds decorrelate the stride from
+	// periodic program behaviour.
+	SampleSeed uint64
 }
 
 // convergeCheckEvery bounds how often the convergence test (a sqrt) runs
@@ -357,8 +381,19 @@ type Engine struct {
 	optimize  bool
 	converge  bool
 	fastPath  bool
-	threshold uint64
 	perf      *perfmodel.Accumulator
+
+	// Sampled-profiling state (Config.SamplePeriod > 1; see sampling.go).
+	// samplePeriod caches the period, sampleGap is the countdown to the
+	// next sampled event (decremented on every block event, reset to the
+	// period when it hits zero), and regThreshold is the registration
+	// threshold in sampled units — ceil(Threshold/SamplePeriod), the
+	// plain Threshold when sampling is off. Every use-count comparison
+	// in the engine is against regThreshold: sampled counters advance
+	// once per sampled event, so thresholds live in sampled units too.
+	samplePeriod uint64
+	sampleGap    uint64
+	regThreshold uint64
 }
 
 // New prepares an engine. The image is validated; the tape supplies
@@ -386,21 +421,23 @@ func New(img *guest.Image, tape interp.Tape, cfg Config) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		cfg:       cfg,
-		img:       img,
-		st:        interp.NewState(img, tape),
-		cache:     make([]*tblock, len(img.Code)),
-		inPool:    make(map[int]bool),
-		former:    region.NewFormer(rcfg),
-		rts:       make(map[*profile.Region]*regionRT),
-		budget:    cfg.MaxBlockExecs,
-		trapAfter: cfg.TrapAfter,
-		interrupt: cfg.Interrupt,
-		optimize:  cfg.Optimize,
-		converge:  cfg.ConvergeRegister,
-		fastPath:  !cfg.DisableFastPath,
-		threshold: cfg.Threshold,
-		perf:      cfg.Perf,
+		cfg:          cfg,
+		img:          img,
+		st:           interp.NewState(img, tape),
+		cache:        make([]*tblock, len(img.Code)),
+		inPool:       make(map[int]bool),
+		former:       region.NewFormer(rcfg),
+		rts:          make(map[*profile.Region]*regionRT),
+		budget:       cfg.MaxBlockExecs,
+		trapAfter:    cfg.TrapAfter,
+		interrupt:    cfg.Interrupt,
+		optimize:     cfg.Optimize,
+		converge:     cfg.ConvergeRegister,
+		fastPath:     !cfg.DisableFastPath,
+		perf:         cfg.Perf,
+		samplePeriod: cfg.SamplePeriod,
+		sampleGap:    samplePhase(cfg) + 1,
+		regThreshold: sampleRegThreshold(cfg),
 	}, nil
 }
 
@@ -429,11 +466,15 @@ func (e *Engine) Info(addr int) (region.BlockInfo, bool) {
 	if e.cfg.ConvergeRegister && tb.registrations == 0 && !tb.frozen {
 		return region.BlockInfo{}, false
 	}
+	// Sampled counters are scaled to full-count estimates here, so the
+	// region former's MinUse gate (threshold/2 under the default config)
+	// admits the same hotness tier it would under full instrumentation.
+	scale := e.sampleScale()
 	return region.BlockInfo{
 		Addr:        tb.addr,
 		End:         tb.end,
-		Use:         tb.use,
-		Taken:       tb.taken,
+		Use:         tb.use * scale,
+		Taken:       tb.taken * scale,
 		Term:        tb.term,
 		TakenTarget: tb.takenTarget,
 		FallTarget:  tb.fallTarget,
@@ -488,7 +529,7 @@ func (e *Engine) translate(addr int) (*tblock, error) {
 	tb.id = int32(len(e.hot))
 	e.hot = append(e.hot, hotrec{})
 	tb.lowered = e.lower(tb)
-	tb.nextRegister = e.cfg.Threshold
+	tb.nextRegister = e.regThreshold
 	e.cache[addr] = tb
 	e.stats.BlocksTranslated++
 	if e.cfg.Perf != nil {
@@ -498,11 +539,11 @@ func (e *Engine) translate(addr int) (*tblock, error) {
 }
 
 // shouldRegister decides whether the block's profile is ready for the
-// candidate pool: at multiples of the fixed threshold, or — in
-// convergence mode — as soon as the branch probability estimate has
-// stabilized.
+// candidate pool: at multiples of the fixed threshold (in sampled
+// units when sampling), or — in convergence mode — as soon as the
+// branch probability estimate has stabilized.
 func (e *Engine) shouldRegister(tb *tblock) bool {
-	if tb.use >= e.cfg.Threshold && tb.use%e.cfg.Threshold == 0 {
+	if tb.use >= e.regThreshold && tb.use%e.regThreshold == 0 {
 		return true
 	}
 	if !e.cfg.ConvergeRegister {
@@ -701,7 +742,7 @@ func (e *Engine) maybeDissolve(rt *regionRT) {
 		tb.use = 0
 		tb.taken = 0
 		tb.registrations = 0
-		tb.nextRegister = e.cfg.Threshold
+		tb.nextRegister = e.regThreshold
 		e.former.Unplace(addr)
 	}
 	// Drop the dissolved region from the run's output.
@@ -810,8 +851,21 @@ func (e *Engine) postExec(nextPC int, halted bool) error {
 		takenEdge = true // unconditional transfers use the taken edge
 	}
 
+	// Sampling stride: the countdown ticks on every block event (frozen
+	// or not), so the sampled-event set depends only on the engine's own
+	// event count — the determinism contract of sampling.go.
+	sampledEvent := true
+	if e.samplePeriod > 1 {
+		e.sampleGap--
+		if e.sampleGap == 0 {
+			e.sampleGap = e.samplePeriod
+		} else {
+			sampledEvent = false
+		}
+	}
+
 	// Profiling phase instrumentation.
-	if !tb.frozen {
+	if !tb.frozen && sampledEvent {
 		tb.use++
 		e.profOps++
 		if tb.hasBranch && takenEdge {
@@ -827,7 +881,7 @@ func (e *Engine) postExec(nextPC int, halted bool) error {
 				ready = e.shouldRegister(tb)
 			} else if tb.use == tb.nextRegister {
 				ready = true
-				tb.nextRegister += e.threshold
+				tb.nextRegister += e.regThreshold
 			}
 			if ready {
 				if e.register(tb) {
@@ -873,8 +927,13 @@ func (e *Engine) postExec(nextPC int, halted bool) error {
 			e.perf.ChargeOptimizedBlock(int(tb.costSum))
 		case tb.frozen:
 			e.perf.ChargeOffTraceBlock(int(tb.costSum))
-		default:
+		case sampledEvent:
 			e.perf.ChargeQuickBlock(int(tb.costSum))
+		default:
+			// Unfrozen block on an unsampled event: quick-translated
+			// execution without the counter-update overhead — the cost
+			// saving sampling exists to buy.
+			e.perf.ChargeQuickBlockUnprofiled(int(tb.costSum))
 		}
 	}
 	if e.optimize {
@@ -970,6 +1029,11 @@ func (e *Engine) snapshot() *profile.Snapshot {
 	if !e.cfg.Optimize {
 		snap.Threshold = 0
 	}
+	// Sampled counters leave the engine scaled to full-count estimates,
+	// exactly as region formation saw them (Engine.Info), so snapshot
+	// consumers — navep averaging, mismatch metrics, the threshold
+	// pipeline — need no sampling awareness.
+	scale := e.sampleScale()
 	for addr, tb := range e.cache {
 		if tb == nil {
 			continue // address was never a block entry
@@ -980,8 +1044,8 @@ func (e *Engine) snapshot() *profile.Snapshot {
 		snap.Blocks[addr] = &profile.Block{
 			Addr:        tb.addr,
 			End:         tb.end,
-			Use:         tb.use,
-			Taken:       tb.taken,
+			Use:         tb.use * scale,
+			Taken:       tb.taken * scale,
 			HasBranch:   tb.hasBranch,
 			TakenTarget: tb.takenTarget,
 			FallTarget:  tb.fallTarget,

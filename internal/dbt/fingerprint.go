@@ -41,5 +41,13 @@ func (c Config) Fingerprint() string {
 	fmt.Fprintf(&b, ";adaptive=%t,%g,%d", c.Adaptive, c.AdaptiveSideExitRate, c.AdaptiveMinEntries)
 	fmt.Fprintf(&b, ";trip=%t", c.ContinuousTripCount)
 	fmt.Fprintf(&b, ";converge=%t,%g,%d", c.ConvergeRegister, c.ConvergeEpsilon, c.ConvergeMinUse)
+	// Sampled profiling is appended only when enabled, so every
+	// fingerprint written before the knob existed — and thus every
+	// result-cache key of a full-instrumentation run — stays
+	// byte-identical. SampleSeed shifts the stride phase, which moves
+	// counters, so it is part of the key.
+	if c.SamplePeriod > 0 {
+		fmt.Fprintf(&b, ";sample=%d,%d", c.SamplePeriod, c.SampleSeed)
+	}
 	return b.String()
 }

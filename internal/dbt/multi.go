@@ -153,6 +153,7 @@ func (e *Engine) fillBatch(batch []outcome) ([]outcome, bool, error) {
 	var instr, fastN, genN, polls uint64
 	budget, trapAfter, interrupt := e.budget, e.trapAfter, e.interrupt
 	fastPath, optimize, conv := e.fastPath, e.optimize, e.converge
+	samplePeriod, gap := e.samplePeriod, e.sampleGap
 	perf := e.perf
 	cur := e.cur
 	curRegion, curNode := e.curRegion, e.curNode
@@ -207,7 +208,16 @@ func (e *Engine) fillBatch(batch []outcome) ([]outcome, bool, error) {
 			genN++
 		}
 		takenEdge := !tb.hasBranch || nextPC == tb.takenTarget
-		if !tb.frozen {
+		sampledEvent := true
+		if samplePeriod > 1 {
+			gap--
+			if gap == 0 {
+				gap = samplePeriod
+			} else {
+				sampledEvent = false
+			}
+		}
+		if !tb.frozen && sampledEvent {
 			tb.use++
 			e.profOps++
 			if tb.hasBranch && takenEdge {
@@ -220,7 +230,7 @@ func (e *Engine) fillBatch(batch []outcome) ([]outcome, bool, error) {
 					ready = e.shouldRegister(tb)
 				} else if tb.use == tb.nextRegister {
 					ready = true
-					tb.nextRegister += e.threshold
+					tb.nextRegister += e.regThreshold
 				}
 				if ready && e.register(tb) {
 					e.optimizeWave()
@@ -252,8 +262,10 @@ func (e *Engine) fillBatch(batch []outcome) ([]outcome, bool, error) {
 				perf.ChargeOptimizedBlock(int(tb.costSum))
 			case tb.frozen:
 				perf.ChargeOffTraceBlock(int(tb.costSum))
-			default:
+			case sampledEvent:
 				perf.ChargeQuickBlock(int(tb.costSum))
+			default:
+				perf.ChargeQuickBlockUnprofiled(int(tb.costSum))
 			}
 		}
 		if optimize {
@@ -313,6 +325,7 @@ func (e *Engine) fillBatch(batch []outcome) ([]outcome, bool, error) {
 	// flushed block count into its message.
 	e.cur = cur
 	e.curRegion, e.curNode = curRegion, curNode
+	e.sampleGap = gap
 	e.stats.BlocksExecuted = count
 	e.stats.InterruptPolls += polls
 	e.stats.Instructions += instr
@@ -387,6 +400,7 @@ func (e *Engine) drainBatch(batch []outcome) error {
 	processed := stop
 	var retErr error
 	fastPath, optimize, conv := e.fastPath, e.optimize, e.converge
+	samplePeriod, gap := e.samplePeriod, e.sampleGap
 	perf := e.perf
 	cur := e.cur
 	// The region cursor also lives in locals across the batch: it is read
@@ -408,7 +422,16 @@ func (e *Engine) drainBatch(batch []outcome) error {
 
 		takenEdge := !tb.hasBranch || nextPC == tb.takenTarget
 
-		if !tb.frozen {
+		sampledEvent := true
+		if samplePeriod > 1 {
+			gap--
+			if gap == 0 {
+				gap = samplePeriod
+			} else {
+				sampledEvent = false
+			}
+		}
+		if !tb.frozen && sampledEvent {
 			tb.use++
 			e.profOps++
 			if tb.hasBranch && takenEdge {
@@ -421,7 +444,7 @@ func (e *Engine) drainBatch(batch []outcome) error {
 					ready = e.shouldRegister(tb)
 				} else if tb.use == tb.nextRegister {
 					ready = true
-					tb.nextRegister += e.threshold
+					tb.nextRegister += e.regThreshold
 				}
 				if ready && e.register(tb) {
 					e.optimizeWave()
@@ -455,8 +478,10 @@ func (e *Engine) drainBatch(batch []outcome) error {
 				perf.ChargeOptimizedBlock(int(tb.costSum))
 			case tb.frozen:
 				perf.ChargeOffTraceBlock(int(tb.costSum))
-			default:
+			case sampledEvent:
 				perf.ChargeQuickBlock(int(tb.costSum))
+			default:
+				perf.ChargeQuickBlockUnprofiled(int(tb.costSum))
 			}
 		}
 		if optimize {
@@ -521,6 +546,7 @@ func (e *Engine) drainBatch(batch []outcome) error {
 	const period = uint64(interruptCheckMask + 1)
 	e.cur = cur
 	e.curRegion, e.curNode = curRegion, curNode
+	e.sampleGap = gap
 	e.stats.Instructions += instr
 	e.stats.FastDispatches += fastN
 	e.stats.GenericDispatches += genN

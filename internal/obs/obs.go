@@ -38,6 +38,11 @@ const (
 	UnitCacheMiss    = "cache_miss"    // a result-cache lookup that found nothing usable
 	UnitCacheStore   = "cache_store"   // a result-cache entry write (Err set when it failed)
 
+	// Sampled-profiling spans (core.Options.SamplePeriods). T carries
+	// the sample period, not a threshold.
+	UnitSample        = "sample"         // an independent-mode sampled ladder execution
+	UnitSampleCompare = "sample_compare" // one period's sampled-vs-AVEP comparison sweep
+
 	// Fleet-protocol spans (internal/fleet): the coordinator's lease
 	// lifecycle. Worker is always 0 — leases belong to remote workers,
 	// not pool slots — and Err names the remote worker or carries the
@@ -63,6 +68,9 @@ var validUnits = map[string]bool{
 	UnitCacheHit:     true,
 	UnitCacheMiss:    true,
 	UnitCacheStore:   true,
+
+	UnitSample:        true,
+	UnitSampleCompare: true,
 
 	UnitLeaseGrant:    true,
 	UnitLeaseExpire:   true,

@@ -111,6 +111,17 @@ func (a *Accumulator) ChargeQuickBlock(cost int) {
 	a.Cycles += q + a.p.ProfOverhead
 }
 
+// ChargeQuickBlockUnprofiled records one execution of a profiling-mode
+// block on an event the sampled-profiling stride skipped: the quick
+// translation still runs at QuickFactor, but no counter update happens,
+// so the per-execution ProfOverhead is not paid. This is the cost side
+// of the sampling frontier (dbt.Config.SamplePeriod).
+func (a *Accumulator) ChargeQuickBlockUnprofiled(cost int) {
+	q := a.p.QuickFactor * float64(cost)
+	a.QuickCycles += q
+	a.Cycles += q
+}
+
 // ChargeOptimizedBlock records one execution of an optimized block on
 // its region's expected path.
 func (a *Accumulator) ChargeOptimizedBlock(cost int) {

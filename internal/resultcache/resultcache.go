@@ -52,7 +52,9 @@ const SchemaVersion = 2
 type Key struct {
 	// Kind is the unit flavour: "ref" (shared-trace reference bundle),
 	// "run" (one profiled execution), "cmp" (one INIP(T)-vs-AVEP
-	// comparison), "traincmp" (the training comparison pair).
+	// comparison), "traincmp" (the training comparison pair), "bp"
+	// (dynamic-predictor tallies over the reference trace), "sp" (one
+	// sampled-profiling ladder).
 	Kind string
 	// Bench is the benchmark name — informational for humans listing
 	// the store, but also part of the fingerprint so two benchmarks

@@ -29,6 +29,12 @@ type perfTotals struct {
 	genericDispatches uint64
 	cacheLookups      uint64
 	runSeconds        float64
+	// Sampled-profiling accounting: sampled ladder units executed and
+	// their actual (sampled, unscaled) counter updates across finished
+	// jobs. Zero — and absent from the exposition — unless some job ran
+	// with sample_periods.
+	sampledUnits        uint64
+	sampledProfilingOps uint64
 }
 
 // recordJobPerf folds one finished job's Perf into the totals.
@@ -45,6 +51,8 @@ func (s *Server) recordJobPerf(p study.Perf) {
 	t.genericDispatches += p.GenericDispatches
 	t.cacheLookups += p.CacheLookups
 	t.runSeconds += p.RefRunSeconds + p.TrainSeconds
+	t.sampledUnits += uint64(p.SampledUnits)
+	t.sampledProfilingOps += p.SampledProfilingOps
 	t.mu.Unlock()
 }
 
@@ -86,6 +94,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fails, retries, resumed := s.perf.unitFailures, s.perf.unitRetries, s.perf.resumedSeries
 	fast, generic, lookups := s.perf.fastDispatches, s.perf.genericDispatches, s.perf.cacheLookups
 	runSecs := s.perf.runSeconds
+	sampledUnits, sampledStudyOps := s.perf.sampledUnits, s.perf.sampledProfilingOps
 	s.perf.mu.Unlock()
 	counter("inipd_study_jobs_finished_total", "study jobs completed by this process", jobs)
 	counter("inipd_study_wall_seconds_total", "summed wall-clock of finished study jobs", fmt.Sprintf("%.3f", wall))
@@ -138,6 +147,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 			fmt.Fprintf(&b, "inipd_predictor_mispredict_rate{predictor=%q} %.6f\n", row.name, rate)
 		}
+	}
+
+	// Sampled-profiling accounting, emitted only once some sampled work
+	// ran — a sampling-less process keeps the legacy exposition
+	// byte-identical.
+	if sc := s.m.sampledCompares.Load(); sc > 0 {
+		counter("inipd_compare_sampled_total", "compare requests that ran a sampled-profiling rerun", sc)
+		sOps, fOps := s.m.sampledOps.Load(), s.m.sampledFullOps.Load()
+		counter("inipd_sampled_profiling_ops_total", "counter updates performed by sampled compare reruns", sOps)
+		counter("inipd_sampled_full_profiling_ops_total", "counter updates performed by the matching full-instrumentation runs", fOps)
+		// Guarded like blocks-per-second: a full ladder with zero
+		// profiling operations exports 0, not NaN.
+		ratio := 0.0
+		if fOps > 0 {
+			ratio = float64(sOps) / float64(fOps)
+		}
+		gauge("inipd_sampled_cost_ratio", "aggregate sampled over full-instrumentation counter-update ratio of compare reruns", fmt.Sprintf("%.6f", ratio))
+	}
+	if sampledUnits > 0 {
+		counter("inipd_study_sampled_units_total", "sampled-profiling ladder units executed by finished study jobs", sampledUnits)
+		counter("inipd_study_sampled_profiling_ops_total", "counter updates performed by sampled study units (actual sampled events, not scaled)", sampledStudyOps)
 	}
 
 	states := map[JobState]int{}

@@ -134,7 +134,7 @@ type Server struct {
 
 	// exec performs one comparison; tests swap it to count and gate
 	// executions without running the pipeline.
-	exec func(key string, bench *spec.Benchmark, paperT, scale float64, predictors []string) *compareOut
+	exec func(key string, bench *spec.Benchmark, paperT, scale float64, predictors []string, samplePeriod uint64) *compareOut
 
 	// Mean compare duration, the Retry-After estimator's numerator.
 	// Tests seed these directly to make the hint deterministic.
@@ -170,6 +170,14 @@ type serverMetrics struct {
 	compareErrors    atomic.Uint64 // 5xx other than deadline
 	studyRequests    atomic.Uint64
 	guestBlocks      atomic.Uint64 // compare-side block executions
+
+	// Sampled-profiling compare accounting (requests with sample_period):
+	// how many ran, and their aggregate sampled vs full-instrumentation
+	// counter-update volume — the numerator and denominator of the
+	// exported cost-ratio gauge.
+	sampledCompares atomic.Uint64
+	sampledOps      atomic.Uint64
+	sampledFullOps  atomic.Uint64
 }
 
 // New builds a Server: opens (and, with Resume, re-enqueues) the job
@@ -321,6 +329,12 @@ type compareRequest struct {
 	// the response byte-identical to requests made before the field
 	// existed.
 	Predictors []string `json:"predictors,omitempty"`
+	// SamplePeriod, when > 0, additionally reruns the comparison with
+	// sampled profiling at that period (dbt.Config.SamplePeriod) and
+	// reports the sampled summary plus its measured profiling-cost ratio.
+	// Zero (the default) keeps the response byte-identical to requests
+	// made before the field existed.
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
 }
 
 // summaryWire is metrics.Summary with JSON names pinned: the struct in
@@ -370,6 +384,27 @@ type compareResponse struct {
 	// order; omitted entirely without a predictor selection, keeping
 	// legacy responses byte-identical.
 	Predictors []predictorWire `json:"predictors,omitempty"`
+	// SamplePeriod echoes the request's sampled-profiling period and
+	// Sampled carries the sampled rerun; both are omitted entirely
+	// without the request field, keeping legacy responses byte-identical.
+	SamplePeriod uint64       `json:"sample_period,omitempty"`
+	Sampled      *sampledWire `json:"sampled,omitempty"`
+}
+
+// sampledWire is the sampled-profiling rerun on the wire: the same
+// comparison re-measured with counters updated only every Nth block
+// event, plus its measured profiling cost against the
+// full-instrumentation run.
+type sampledWire struct {
+	Summary summaryWire `json:"summary"`
+	// ProfilingOps counts the sampled run's actual counter updates and
+	// FullProfilingOps the full-instrumentation run's; CostRatio is
+	// their quotient (0 when the full run performed none, never NaN) and
+	// SdBPDelta the accuracy price (sampled minus full Sd.BP).
+	ProfilingOps     uint64  `json:"profiling_ops"`
+	FullProfilingOps uint64  `json:"full_profiling_ops"`
+	CostRatio        float64 `json:"cost_ratio"`
+	SdBPDelta        float64 `json:"sd_bp_delta"`
 }
 
 // predictorWire is one predictor tally on the wire.
@@ -456,6 +491,9 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if len(req.Predictors) > 0 {
 		key += "|bp=" + strings.Join(req.Predictors, ",")
 	}
+	if req.SamplePeriod > 0 {
+		key += fmt.Sprintf("|sp=%d", req.SamplePeriod)
+	}
 	s.flightMu.Lock()
 	f, follower := s.flights[key]
 	if !follower {
@@ -469,7 +507,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	} else {
 		go func() {
 			execStart := time.Now()
-			f.out = s.exec(key, bench, req.T, scale, req.Predictors)
+			f.out = s.exec(key, bench, req.T, scale, req.Predictors, req.SamplePeriod)
 			s.compareDurNS.Add(int64(time.Since(execStart)))
 			s.compareDurCount.Add(1)
 			s.flightMu.Lock()
@@ -520,7 +558,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // shared scheduler and renders the canonical response body. It runs to
 // completion regardless of any caller's deadline — abandoning it would
 // waste the work the cache is about to keep.
-func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float64, predictors []string) *compareOut {
+func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float64, predictors []string, samplePeriod uint64) *compareOut {
 	eff := study.EffectiveThreshold(paperT, scale)
 	var timing core.Timing
 	opts := core.Options{
@@ -533,6 +571,9 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 		// Must match the study's context format exactly, so the daemon
 		// and the CLI share cache entries for the same work.
 		CacheContext: fmt.Sprintf("scale=%g", scale),
+	}
+	if samplePeriod > 0 {
+		opts.SamplePeriods = []uint64{samplePeriod}
 	}
 	done := make(chan *core.BenchmarkResult, 1)
 	core.ScheduleBenchmark(s.sched, bench.Target(scale), opts, func(r *core.BenchmarkResult) {
@@ -570,6 +611,21 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 		}
 		s.recordPredictors(res.Predictors)
 	}
+	if samplePeriod > 0 && len(res.Sampling) == 1 && len(res.Sampling[0].PerT) == 1 && len(res.Results) == 1 {
+		sp := res.Sampling[0].PerT[0]
+		sw := &sampledWire{
+			Summary:          toWire(sp.Summary),
+			ProfilingOps:     sp.ProfilingOps,
+			FullProfilingOps: res.Results[0].ProfilingOps,
+			SdBPDelta:        sp.Summary.SdBP - res.Results[0].Summary.SdBP,
+		}
+		if sw.FullProfilingOps > 0 {
+			sw.CostRatio = float64(sw.ProfilingOps) / float64(sw.FullProfilingOps)
+		}
+		resp.SamplePeriod = samplePeriod
+		resp.Sampled = sw
+		s.recordSampled(sw)
+	}
 	body, err := json.Marshal(resp)
 	if err != nil {
 		return &compareOut{status: http.StatusInternalServerError, errMsg: err.Error()}
@@ -579,6 +635,15 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 		body:   append(body, '\n'),
 		blocks: timing.BlocksExecuted.Load(),
 	}
+}
+
+// recordSampled folds one sampled compare into the process-lifetime
+// totals behind /v1/metrics. Warm compares count too: their sampled
+// ladders come out of the result cache fully populated.
+func (s *Server) recordSampled(sw *sampledWire) {
+	s.m.sampledCompares.Add(1)
+	s.m.sampledOps.Add(sw.ProfilingOps)
+	s.m.sampledFullOps.Add(sw.FullProfilingOps)
 }
 
 // recordPredictors folds one compare's predictor tallies into the

@@ -27,7 +27,7 @@ func newTestServer(t *testing.T, cfg Config, gate chan struct{}, calls *atomic.I
 		t.Fatal(err)
 	}
 	if gate != nil {
-		s.exec = func(key string, _ *spec.Benchmark, _, _ float64, _ []string) *compareOut {
+		s.exec = func(key string, _ *spec.Benchmark, _, _ float64, _ []string, _ uint64) *compareOut {
 			calls.Add(1)
 			<-gate
 			return &compareOut{
@@ -693,5 +693,104 @@ func TestComparePredictorsE2E(t *testing.T) {
 	_, legacyBody := post(`{"bench":"gzip","t":2000}`)
 	if bytes.Contains(legacyBody, []byte("predictors")) {
 		t.Fatalf("legacy response leaked a predictors field:\n%s", legacyBody)
+	}
+}
+
+// TestCompareSampledE2E drives the sampled-profiling wiring end to end:
+// a compare with sample_period reports the sampled rerun and its cost
+// ratio, replays byte-identically warm with zero guest blocks, feeds
+// the sampled metrics — and a request without the field keeps the
+// legacy wire format and the legacy metrics exposition untouched.
+func TestCompareSampledE2E(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Scale: 0.001, Workers: 1, Cache: cache}, nil, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/compare", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, raw
+	}
+
+	const reqBody = `{"bench":"gzip","t":2000,"sample_period":16}`
+	cold, coldBody := post(reqBody)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold compare: %d %s", cold.StatusCode, coldBody)
+	}
+	var resp compareResponse
+	if err := json.Unmarshal(coldBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.SamplePeriod != 16 || resp.Sampled == nil {
+		t.Fatalf("sampled fields missing: %+v", resp)
+	}
+	sw := resp.Sampled
+	if sw.FullProfilingOps == 0 || sw.ProfilingOps >= sw.FullProfilingOps {
+		t.Fatalf("sampled ops %d not below full ops %d", sw.ProfilingOps, sw.FullProfilingOps)
+	}
+	if want := float64(sw.ProfilingOps) / float64(sw.FullProfilingOps); sw.CostRatio != want {
+		t.Fatalf("cost ratio %v, want %v", sw.CostRatio, want)
+	}
+	if sw.Summary.Blocks == 0 {
+		t.Fatalf("sampled summary empty: %+v", sw)
+	}
+
+	warm, warmBody := post(reqBody)
+	if got := warm.Header.Get("X-Inipd-Guest-Blocks"); got != "0" {
+		t.Fatalf("warm sampled compare executed %s guest blocks, want 0", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Fatalf("warm sampled body differs from cold:\n%s\n%s", coldBody, warmBody)
+	}
+
+	// Warm compares still fold into the exported totals: two runs.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mraw)
+	if !strings.Contains(metrics, "inipd_compare_sampled_total 2\n") {
+		t.Fatalf("metrics missing sampled compare counter:\n%s", metrics)
+	}
+	wantOps := fmt.Sprintf("inipd_sampled_profiling_ops_total %d\n", 2*sw.ProfilingOps)
+	if !strings.Contains(metrics, wantOps) {
+		t.Fatalf("metrics missing %q:\n%s", wantOps, metrics)
+	}
+	if !strings.Contains(metrics, "inipd_sampled_cost_ratio ") {
+		t.Fatalf("cost ratio gauge missing:\n%s", metrics)
+	}
+
+	// A request without sample_period keeps the legacy wire format.
+	_, legacyBody := post(`{"bench":"gzip","t":2000}`)
+	if bytes.Contains(legacyBody, []byte("sample")) {
+		t.Fatalf("legacy response leaked a sampled field:\n%s", legacyBody)
+	}
+
+	// A process that never ran sampled work keeps the legacy metrics
+	// exposition byte-for-byte free of sampled families.
+	plain := newTestServer(t, Config{Scale: 0.001, Workers: 1}, nil, nil)
+	pts := httptest.NewServer(plain.Handler())
+	defer pts.Close()
+	presp, err := http.Get(pts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	praw, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if strings.Contains(string(praw), "sampled") {
+		t.Fatalf("sampling-less exposition mentions sampled families:\n%s", praw)
 	}
 }

@@ -36,6 +36,9 @@ type checkpointHeader struct {
 	// written before the field existed (strict unmarshal keeps reading
 	// them).
 	Predictors []string `json:"predictors,omitempty"`
+	// SamplePeriods is the requested sampled-profiling period ladder;
+	// omitted when empty for the same backwards compatibility.
+	SamplePeriods []uint64 `json:"sample_periods,omitempty"`
 }
 
 // checkpointer persists completed benchmark series. Every commit
@@ -80,6 +83,7 @@ func openCheckpoint(cfg *Config, paperT []float64) (*checkpointer, map[string]Be
 			IndependentRuns: cfg.IndependentRuns,
 			Benchmarks:      names,
 			Predictors:      cfg.Predictors,
+			SamplePeriods:   cfg.SamplePeriods,
 		},
 		order: order,
 		done:  make(map[string]BenchmarkSeries),
@@ -183,10 +187,25 @@ func matchHeader(got, want checkpointHeader) error {
 	if !equalStrings(got.Predictors, want.Predictors) {
 		return fmt.Errorf("checkpoint predictors %v, this run selects %v", got.Predictors, want.Predictors)
 	}
+	if !equalUints(got.SamplePeriods, want.SamplePeriods) {
+		return fmt.Errorf("checkpoint sample periods %v, this run selects %v", got.SamplePeriods, want.SamplePeriods)
+	}
 	return nil
 }
 
 func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalUints(a, b []uint64) bool {
 	if len(a) != len(b) {
 		return false
 	}

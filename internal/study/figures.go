@@ -336,6 +336,7 @@ func (r *Results) Figures() []Figure {
 		r.Figure17(), r.Figure18(),
 	}
 	figs = append(figs, r.predictorFigures()...)
+	figs = append(figs, r.sampleFigures()...)
 	if gaps := r.gapNotes(); len(gaps) > 0 {
 		for i := range figs {
 			figs[i].Gaps = gaps
@@ -345,7 +346,8 @@ func (r *Results) Figures() []Figure {
 }
 
 // FigureByID returns the named figure ("fig8".."fig18", plus
-// "figp1"/"figp2" when the study ran predictors), or false.
+// "figp1"/"figp2" when the study ran predictors and "figs1"/"figs2"
+// when it swept sampled-profiling periods), or false.
 func (r *Results) FigureByID(id string) (Figure, bool) {
 	for _, f := range r.Figures() {
 		if f.ID == id {

@@ -116,6 +116,16 @@ type Config struct {
 	// Parallelism values and dispatch paths. Empty (the default) runs
 	// no predictors and leaves every figure byte-identical.
 	Predictors []string
+	// SamplePeriods is the ladder of sampled-profiling periods to sweep
+	// (dbt.Config.SamplePeriod): each period reruns the whole threshold
+	// ladder with counters updated only every Nth block event, feeding
+	// the accuracy-vs-cost frontier figures (figs1/figs2). In the
+	// default shared-trace mode the sampled runs replay the reference
+	// trace, so each benchmark's guest still executes exactly once.
+	// Empty (the default) runs no sampled ladders and leaves every
+	// figure byte-identical. Periods of 1 exercise the sampling
+	// machinery but are full instrumentation by definition.
+	SamplePeriods []uint64
 	// Executor, when non-nil, runs each benchmark unit through it
 	// instead of scheduling directly on the study's pool — the seam the
 	// distributed fleet plugs into (internal/fleet's coordinator is a
@@ -203,6 +213,16 @@ func (c *Config) Validate() error {
 	if c.CacheVerify && c.Cache == nil {
 		return errors.New("study: cache verification requested without a cache")
 	}
+	spSeen := make(map[uint64]bool, len(c.SamplePeriods))
+	for _, p := range c.SamplePeriods {
+		if p < 1 {
+			return fmt.Errorf("study: invalid sample period %d (want >= 1)", p)
+		}
+		if spSeen[p] {
+			return fmt.Errorf("study: duplicate sample period %d", p)
+		}
+		spSeen[p] = true
+	}
 	predSeen := make(map[string]bool, len(c.Predictors))
 	for _, name := range c.Predictors {
 		if _, err := predict.New(name); err != nil {
@@ -258,6 +278,7 @@ func (c *Config) UnitOptions(thresholds []uint64, timing *core.Timing) core.Opti
 		Cache:           c.Cache,
 		CacheVerify:     c.CacheVerify,
 		Predictors:      c.Predictors,
+		SamplePeriods:   c.SamplePeriods,
 		// Scale is the one study parameter that shapes results
 		// without being visible in image, tape or engine config
 		// (it clamps the effective ladder), so it anchors the key
@@ -290,6 +311,10 @@ type BenchmarkSeries struct {
 	// benchmark's reference trace, in Config.Predictors order; absent
 	// (and omitted from checkpoints) when no predictors were requested.
 	Predictors []predict.Result `json:",omitempty"`
+	// Sampling holds the sampled-profiling rerun ladders, one per
+	// Config.SamplePeriods entry; absent (and omitted from checkpoints)
+	// when no periods were requested.
+	Sampling []core.SamplePeriodResult `json:",omitempty"`
 }
 
 // SeriesFromResult converts one benchmark's completed unit result into
@@ -309,6 +334,7 @@ func SeriesFromResult(b *spec.Benchmark, out *core.BenchmarkResult) BenchmarkSer
 		PerT:         out.Results,
 		Failures:     out.Failures,
 		Predictors:   out.Predictors,
+		Sampling:     out.Sampling,
 	}
 }
 
@@ -345,6 +371,16 @@ type Perf struct {
 	// unit (each profiling context counts its pass over the trace).
 	BlocksExecuted uint64  `json:"blocks_executed"`
 	BlocksPerSec   float64 `json:"blocks_per_sec"`
+	// Sampled-profiling accounting (Config.SamplePeriods), all zero —
+	// and omitted — when no periods were requested or every sampled
+	// ladder replayed from the cache. SampledProfilingOps counts actual
+	// counter updates of the sampled contexts (sampled units, not
+	// period-scaled estimates), so it is directly comparable to the
+	// full-instrumentation rungs' ProfilingOps; the rate is guarded so a
+	// zero-duration or fully-warm run reports 0, never NaN or Inf.
+	SampledUnits        int64   `json:"sampled_units,omitempty"`
+	SampledProfilingOps uint64  `json:"sampled_profiling_ops,omitempty"`
+	SampledOpsPerSec    float64 `json:"sampled_ops_per_sec,omitempty"`
 	// Workers is the scheduler's resolved pool size — what actually
 	// ran, not the requested Parallelism (which may be zero = default).
 	Workers int `json:"workers"`
@@ -547,8 +583,11 @@ func Run(cfg Config) (*Results, error) {
 	res.Perf.ResultCacheStores = cacheCounters.Stores
 	res.Perf.ResultCacheErrors = cacheCounters.Errors
 	res.Perf.ResultCacheHealFailures = cacheCounters.HealFailures
+	res.Perf.SampledUnits = timing.SampledUnits.Load()
+	res.Perf.SampledProfilingOps = timing.SampledProfilingOps.Load()
 	if wall > 0 {
 		res.Perf.BlocksPerSec = float64(res.Perf.BlocksExecuted) / wall.Seconds()
+		res.Perf.SampledOpsPerSec = float64(res.Perf.SampledProfilingOps) / wall.Seconds()
 	}
 	if werr != nil {
 		// Graceful stop: the caller gets everything that completed (and
