@@ -178,6 +178,47 @@ if [ -n "$leftovers" ]; then
     exit 1
 fi
 
+echo "== learned smoke (-race) =="
+# Profile-free learned model (DESIGN §3j): the cold full-suite run
+# collects branch-site data (the legacy units come warm out of the
+# cache above, only the `ls` entries are new) and fits the
+# cross-validated model; the warm rerun must replay everything
+# byte-identically — figures and dumped model — at zero guest blocks.
+"$tmpdir/inipstudy" -scale 0.001 -learned logreg -fig figl1,figl2 \
+    -cache "$tmpdir/cache" -learnedjson "$tmpdir/lm-cold.json" \
+    > "$tmpdir/lm-cold.txt" 2> "$tmpdir/lm-cold.err"
+"$tmpdir/inipstudy" -scale 0.001 -learned logreg -fig figl1,figl2 \
+    -cache "$tmpdir/cache" -learnedjson "$tmpdir/lm-warm.json" \
+    -benchjson "$tmpdir/lm-warm-perf.json" > "$tmpdir/lm-warm.txt" 2> /dev/null
+cmp "$tmpdir/lm-cold.txt" "$tmpdir/lm-warm.txt"
+cmp "$tmpdir/lm-cold.json" "$tmpdir/lm-warm.json"
+grep -q '"blocks_executed": 0' "$tmpdir/lm-warm-perf.json"
+grep -q "^== figl1" "$tmpdir/lm-cold.txt"
+grep -q "^== figl2" "$tmpdir/lm-cold.txt"
+# Held-out accuracy gate: over the full suite the leave-one-benchmark-
+# out mispredict rate must be strictly below the always-taken baseline
+# (the rates are in the -learnedjson summary line on stderr).
+lrate=$(sed -n 's/.*mispredicted = \([0-9.]*\) vs always-taken.*/\1/p' "$tmpdir/lm-cold.err")
+trate=$(sed -n 's/.*vs always-taken \([0-9.]*\).*/\1/p' "$tmpdir/lm-cold.err")
+awk -v l="$lrate" -v t="$trate" 'BEGIN {
+    if (l == "" || t == "" || l + 0 >= t + 0) {
+        print "held-out learned rate " l " does not beat always-taken " t > "/dev/stderr"
+        exit 1
+    }
+}'
+# full.txt is the kill-and-resume smoke's uninterrupted fig8 run of
+# the same configuration without the learned class.
+"$tmpdir/inipstudy" -scale 0.001 -bench gzip,swim -learned logreg \
+    -fig fig8 > "$tmpdir/fig8-lm.txt"
+cmp "$tmpdir/full.txt" "$tmpdir/fig8-lm.txt"
+# No orphaned atomic-write temporaries in the now learned-warm cache.
+leftovers=$(find "$tmpdir/cache" -name '.*.tmp*')
+if [ -n "$leftovers" ]; then
+    echo "orphaned atomic-write temporaries after learned smoke:" >&2
+    echo "$leftovers" >&2
+    exit 1
+fi
+
 echo "== coverage floors =="
 # Statement-coverage floors for the two packages the sampling test net
 # leans on hardest: comfortably below the measured values (79%/90% at

@@ -10,12 +10,14 @@
 //	dbtrun -asm prog.s -T 500 -stats -dump
 //	dbtrun -bench gzip -T 500 -trace run.jsonl
 //	dbtrun -bench mcf -T 500 -sampleperiod 16   # LBR-style sampled profiling
+//	dbtrun -bench mcf -T 500 -learned           # learned-model per-site features + tallies
 //
 // -T 0 disables the optimization phase (an AVEP/average-profile run);
 // any other value is the retranslation threshold.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,8 +27,10 @@ import (
 	"repro/internal/dbt"
 	"repro/internal/guest"
 	"repro/internal/interp"
+	"repro/internal/learned"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
+	"repro/internal/profile"
 	"repro/internal/spec"
 )
 
@@ -55,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceFile    = fs.String("trace", "", "append a flight-recorder event for this run as JSONL to this file")
 		samplePeriod = fs.Uint64("sampleperiod", 0, "sampled-profiling period: update profiling counters only every Nth block event (0 or 1 = full instrumentation)")
 		sampleSeed   = fs.Uint64("sampleseed", 0, "seed of the sampled-profiling stride phase (with -sampleperiod)")
+		learnedDump  = fs.Bool("learned", false, "dump the learned-model static feature vector and observed taken tally of every conditional-branch site")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,8 +101,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = obs.NewRecorder(f)
 	}
 
+	// The learned dump rides the read-only observer rail of the same
+	// run: the snapshot, stats and any -o/-dump output are identical to
+	// a run without it.
+	var collector *learned.Collector
+	if *learnedDump {
+		sites, lerr := learned.ExtractSites(img)
+		if lerr != nil {
+			fmt.Fprintf(stderr, "dbtrun: %v\n", lerr)
+			return 1
+		}
+		collector = learned.NewCollector(sites)
+	}
+
 	start := time.Now()
-	snap, runStats, err := dbt.Run(img, tape, cfg)
+	var snap *profile.Snapshot
+	var runStats *dbt.RunStats
+	if collector != nil {
+		snaps, allStats, rerr := dbt.RunMultiObserved(img, tape, []dbt.Config{cfg}, []dbt.TraceObserver{collector})
+		if rerr == nil {
+			snap, runStats = snaps[0], allStats[0]
+		}
+		err = rerr
+	} else {
+		snap, runStats, err = dbt.Run(img, tape, cfg)
+	}
 	if rec != nil {
 		ev := obs.Event{Bench: img.Name, Unit: obs.UnitRun, T: *threshold}
 		if err == nil {
@@ -166,7 +194,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "simulated cycles:   %.0f\n", runStats.Cycles)
 		}
 	}
-	if *outFile == "" && !*dump && !*stats {
+	if collector != nil {
+		data := collector.BenchData(img.Name)
+		if data.Unknown > 0 {
+			fmt.Fprintf(stderr, "dbtrun: warning: %d branch events at sites the static extractor missed\n", data.Unknown)
+		}
+		out := struct {
+			FeatureNames []string `json:"feature_names"`
+			learned.BenchData
+		}{learned.FeatureNames(), data}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "dbtrun: %v\n", err)
+			return 1
+		}
+	}
+	if *outFile == "" && !*dump && !*stats && collector == nil {
 		fmt.Fprintf(stdout, "%s/%s T=%d: %d blocks, %d regions, %d profiling ops\n",
 			snap.Program, snap.Input, snap.Threshold, len(snap.Blocks), len(snap.Regions), snap.ProfilingOps)
 	}

@@ -21,6 +21,8 @@
 //	inipstudy -cache results.cache -cacheverify  # differential cache self-check
 //	inipstudy -predictors all                    # dynamic-predictor zoo (figp1/figp2)
 //	inipstudy -sampleperiods 1,4,16,64           # sampled-profiling frontier (figs1/figs2)
+//	inipstudy -learned logreg                    # profile-free learned model (figl1/figl2)
+//	inipstudy -learned tree -learnedjson m.json  # dump cross-validated weights/importances
 //
 // The default scale of 1.0 runs the paper's actual threshold ladder
 // 100..4M (a few minutes); -scale 0.1 gives a quick low-resolution pass.
@@ -46,6 +48,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/learned"
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/resultcache"
@@ -248,8 +251,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stopAfter     = fs.Int("stopafter", 0, "stop gracefully after this many benchmark completions (testing hook for resume)")
 		cacheDir      = fs.String("cache", "", "memoize unit results in this content-addressed directory; a warm rerun of an unchanged study executes zero guest blocks")
 		cacheVerify   = fs.Bool("cacheverify", false, "execute every unit despite cache hits and hard-error if a cached value diverges (requires -cache)")
-		predictors    = fs.String("predictors", "", "comma-separated dynamic branch predictors to run over each reference trace (taken,nottaken,1bit,2bit,gshare,perceptron or 'all'); adds figp1/figp2 without touching the paper figures")
+		predictors    = fs.String("predictors", "", "comma-separated dynamic branch predictors to run over each reference trace (taken,nottaken,1bit,2bit,gshare,perceptron, 'learned', or 'all'); adds figp1/figp2 without touching the paper figures")
 		samplePeriods = fs.String("sampleperiods", "", "comma-separated sampled-profiling periods to sweep (e.g. 1,4,16,64); adds figs1/figs2 without touching the paper figures")
+		learnedModel  = fs.String("learned", "", "train the profile-free learned static branch model over the suite ('logreg' or 'tree'); adds figl1/figl2 without touching the paper figures")
+		learnedJSON   = fs.String("learnedjson", "", "write the cross-validated learned model (weights, per-feature importances, per-fold held-out rates) as JSON to this file; implies -learned logreg unless -learned is set")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -267,7 +272,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// have orphaned next to our output targets (the checkpoint's are
 	// swept when it is opened). Startup is the one moment no write of
 	// this process can be in flight.
-	for _, p := range []string{*benchJSON, *asMD, *traceFile} {
+	for _, p := range []string{*benchJSON, *asMD, *traceFile, *learnedJSON} {
 		if p != "" {
 			atomicio.SweepTempsFor(p)
 		}
@@ -339,12 +344,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg.Policy = pol
-	preds, perr := predict.ParseList(*predictors)
+	// 'learned' rides the -predictors selection but is a separate class
+	// (a static model, not a dynamic predictor): strip the token before
+	// the dynamic-predictor parse and map it to the study's learned
+	// config. Note 'all' selects the dynamic zoo only.
+	predList := *predictors
+	learnedSel := *learnedModel
+	if predList != "" {
+		var kept []string
+		for _, tok := range strings.Split(predList, ",") {
+			if strings.TrimSpace(tok) == "learned" {
+				if learnedSel == "" {
+					learnedSel = learned.ModelLogReg
+				}
+				continue
+			}
+			kept = append(kept, tok)
+		}
+		predList = strings.Join(kept, ",")
+	}
+	preds, perr := predict.ParseList(predList)
 	if perr != nil {
 		fmt.Fprintf(stderr, "inipstudy: %v\n", perr)
 		return 2
 	}
 	cfg.Predictors = preds
+	if *learnedJSON != "" && learnedSel == "" {
+		learnedSel = learned.ModelLogReg
+	}
+	if learnedSel != "" {
+		cfg.Learned = &learned.Config{Model: learnedSel}
+	}
 	periods, perr := parseSamplePeriods(*samplePeriods)
 	if perr != nil {
 		fmt.Fprintf(stderr, "inipstudy: %v\n", perr)
@@ -518,6 +548,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "wrote %s (wall %.1fs, %.2fM blocks/s)\n",
 			*benchJSON, res.Perf.WallSeconds, res.Perf.BlocksPerSec/1e6)
+	}
+
+	if *learnedJSON != "" {
+		if res.Learned == nil {
+			fmt.Fprintln(stderr, "inipstudy: -learnedjson: no learned fit was produced (a leave-one-out fit needs at least two cleanly completed benchmarks)")
+			return 1
+		}
+		data, jerr := json.MarshalIndent(res.Learned, "", " ")
+		if jerr == nil {
+			jerr = atomicio.WriteFile(*learnedJSON, append(data, '\n'), 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintf(stderr, "inipstudy: %v\n", jerr)
+			return 1
+		}
+		branches, mis, _ := res.Learned.Totals()
+		fmt.Fprintf(stderr, "wrote %s (%s, held-out %d/%d mispredicted = %.4f vs always-taken %.4f)\n",
+			*learnedJSON, res.Learned.Fingerprint, mis, branches, res.Learned.Rate(), res.Learned.TakenRate())
 	}
 
 	if *asMD != "" {

@@ -172,6 +172,14 @@ func (g *Graph) ReversePostorder() []int {
 // Dominators computes the immediate dominator of every reachable block
 // (the entry dominates itself), using the Cooper–Harvey–Kennedy
 // iterative algorithm over reverse postorder.
+//
+// Defined behavior on pathological graphs: blocks unreachable from the
+// entry are absent from the result (they have no dominator), and
+// irreducible graphs converge like any other — CHK iterates to the
+// maximal fixed point and terminates because every intersection walks
+// strictly down the already-computed RPO prefix. Callers holding a
+// block start that is missing from the map must treat it as
+// unreachable, not as an error.
 func (g *Graph) Dominators() map[int]int {
 	rpo := g.ReversePostorder()
 	index := make(map[int]int, len(rpo))
@@ -222,6 +230,9 @@ func (g *Graph) Dominators() map[int]int {
 }
 
 // Dominates reports whether a dominates b under the given idom map.
+// For a block missing from the map (unreachable from the entry) the
+// walk stops immediately, so the defined result degenerates to a == b:
+// an unanalyzed block dominates only itself.
 func Dominates(idom map[int]int, a, b int) bool {
 	for {
 		if a == b {
@@ -244,6 +255,15 @@ type Loop struct {
 }
 
 // NaturalLoops finds all natural loops, merging loops that share a head.
+//
+// Defined behavior on pathological graphs: only back edges whose head
+// dominates the tail form loops, so irreducible cycles (two-entry
+// loops, where neither header dominates the other) simply contribute
+// no Loop — the call terminates and returns the reducible subset.
+// Blocks unreachable from the entry can neither head a loop nor join a
+// body: the body walk is clamped to the dominator-analyzed region, so
+// an unreachable block with an edge into a loop is skipped rather than
+// absorbed.
 func (g *Graph) NaturalLoops() []Loop {
 	idom := g.Dominators()
 	byHead := make(map[int]map[int]bool)
@@ -256,7 +276,9 @@ func (g *Graph) NaturalLoops() []Loop {
 					body = map[int]bool{succ: true}
 					byHead[succ] = body
 				}
-				// Walk predecessors from the tail.
+				// Walk predecessors from the tail, clamped to blocks the
+				// dominator analysis reached: an unreachable predecessor
+				// cannot be part of the loop.
 				stack := []int{s}
 				for len(stack) > 0 {
 					n := stack[len(stack)-1]
@@ -265,7 +287,11 @@ func (g *Graph) NaturalLoops() []Loop {
 						continue
 					}
 					body[n] = true
-					stack = append(stack, g.Preds[n]...)
+					for _, p := range g.Preds[n] {
+						if _, ok := idom[p]; ok {
+							stack = append(stack, p)
+						}
+					}
 				}
 			}
 		}

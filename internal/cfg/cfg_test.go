@@ -1,8 +1,12 @@
-package cfg
+// Package cfg_test is an external test package: the suite cross-checks
+// against spec, which (via core and the learned feature extractor)
+// imports cfg — an in-package test would close an import cycle.
+package cfg_test
 
 import (
 	"testing"
 
+	"repro/internal/cfg"
 	"repro/internal/dbt"
 	"repro/internal/guest"
 	"repro/internal/spec"
@@ -30,7 +34,7 @@ loop:
 
 func TestBuildBlocks(t *testing.T) {
 	img := mustAssemble(t, loopSrc)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +68,7 @@ func TestBuildBlocks(t *testing.T) {
 
 func TestPredsInverseOfSuccs(t *testing.T) {
 	img := mustAssemble(t, loopSrc)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +89,7 @@ func TestPredsInverseOfSuccs(t *testing.T) {
 
 func TestReversePostorderStartsAtEntry(t *testing.T) {
 	img := mustAssemble(t, loopSrc)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +121,7 @@ left:
 join:
 	halt
 `)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,17 +131,17 @@ join:
 	if idom[join] != g.Entry {
 		t.Fatalf("idom(join) = %d, want entry %d", idom[join], g.Entry)
 	}
-	if !Dominates(idom, g.Entry, left) {
+	if !cfg.Dominates(idom, g.Entry, left) {
 		t.Fatal("entry must dominate left arm")
 	}
-	if Dominates(idom, left, join) {
+	if cfg.Dominates(idom, left, join) {
 		t.Fatal("left arm must not dominate join")
 	}
 }
 
 func TestNaturalLoopsFindLoop(t *testing.T) {
 	img := mustAssemble(t, loopSrc)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +172,7 @@ inner:
 	bne r1, r2, outer
 	halt
 `)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +182,7 @@ inner:
 	}
 	inner := img.Symbols["inner"]
 	outer := img.Symbols["outer"]
-	var innerLoop, outerLoop *Loop
+	var innerLoop, outerLoop *cfg.Loop
 	for i := range loops {
 		switch loops[i].Head {
 		case inner:
@@ -210,12 +214,12 @@ a:
 b:
 	halt
 `)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Find the jr block.
-	var jrBlock *Block
+	var jrBlock *cfg.Block
 	for _, b := range g.Blocks {
 		if b.Term.Op.IsIndirect() {
 			jrBlock = b
@@ -239,7 +243,7 @@ func TestDynamicBlocksAreStaticConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +264,7 @@ func TestDynamicBlocksAreStaticConsistent(t *testing.T) {
 
 func TestStartsSorted(t *testing.T) {
 	img := mustAssemble(t, loopSrc)
-	g, err := Build(img)
+	g, err := cfg.Build(img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +282,7 @@ func TestWholeSuiteBuildsCFGs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		g, err := Build(img)
+		g, err := cfg.Build(img)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dbt"
+	"repro/internal/learned"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/predict"
@@ -76,6 +77,17 @@ type trainCmpEntry struct {
 // is threshold-independent and shared across ladder shapes.
 type bpEntry struct {
 	Results []predict.Result `json:"results"`
+}
+
+// lsEntry is the cached output of the learned-predictor collection over
+// the reference trace: every static branch site with its feature vector
+// and outcome tallies. Like bp it is threshold-independent — the trace
+// is fully determined by image and tape — and shared across ladder
+// shapes and run modes. The fingerprint pins the feature schema (and,
+// via the key's engine component, the model config it will feed).
+type lsEntry struct {
+	Fingerprint string            `json:"fingerprint"`
+	Data        learned.BenchData `json:"data"`
 }
 
 // spEntry is the cached output of one sampled-profiling ladder: every
@@ -226,6 +238,29 @@ func bpEntryMatches(ent *bpEntry, names []string) bool {
 func (b *benchRun) bpCacheKey(imgHash string) resultcache.Key {
 	return b.cacheKey("bp", imgHash, b.t.TapeID("ref"),
 		"predictors="+strings.Join(b.opts.Predictors, ","), 0)
+}
+
+// lsEntryMatches sanity-checks a decoded learned-collection entry; a
+// mismatch (wrong fingerprint, wrong benchmark, or a feature width the
+// current extractor would not produce) is treated as a miss.
+func lsEntryMatches(ent *lsEntry, fingerprint, bench string) bool {
+	if ent.Fingerprint != fingerprint || ent.Data.Bench != bench {
+		return false
+	}
+	for i := range ent.Data.Sites {
+		if len(ent.Data.Sites[i].X) != learned.NumFeatures() {
+			return false
+		}
+	}
+	return true
+}
+
+// lsCacheKey keys the learned collection over the reference trace. The
+// engine component is the model-config fingerprint, which also carries
+// the feature-schema version; the collection itself depends only on
+// image and tape, so study runs and the daemon warm each other.
+func (b *benchRun) lsCacheKey(imgHash string) resultcache.Key {
+	return b.cacheKey("ls", imgHash, b.t.TapeID("ref"), b.opts.Learned.Fingerprint(), 0)
 }
 
 // spEntryMatches sanity-checks a decoded sampled-ladder entry against

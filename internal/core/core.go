@@ -18,6 +18,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/guest"
 	"repro/internal/interp"
+	"repro/internal/learned"
 	"repro/internal/metrics"
 	"repro/internal/navep"
 	"repro/internal/obs"
@@ -135,6 +136,17 @@ type Options struct {
 	// (dbt.Config.SampleSeed); it participates in the sampled cache
 	// keys.
 	SampleSeed uint64
+	// Learned, when non-nil, collects the profile-free learned
+	// predictor's per-benchmark data off the reference trace: static
+	// branch-site features extracted from the image plus per-site
+	// outcome tallies observed on the shared trace. Collection rides
+	// the existing observer rail — the guest still executes once and
+	// every legacy output is byte-identical to a run without the field.
+	// Training happens at the study level (the model must never see the
+	// benchmark it is scored on), so the per-benchmark result is data,
+	// not a fitted model. The config's Fingerprint keys the `ls` cache
+	// entries.
+	Learned *learned.Config
 	// Workers bounds RunBenchmark's own scheduler when it is not given
 	// one (default GOMAXPROCS).
 	Workers int
@@ -303,6 +315,11 @@ type BenchmarkResult struct {
 	// period, in Options.SamplePeriods order. Nil when no periods were
 	// requested.
 	Sampling []SamplePeriodResult
+	// Learned is the learned-predictor collection (static site features
+	// + reference-trace tallies), present when Options.Learned was set.
+	// Like Predictors it is threshold-independent and bit-identical
+	// across worker counts, run modes and dispatch paths.
+	Learned *learned.BenchData
 	// Failures lists the units that failed permanently under the Degrade
 	// policy, in completion order (callers that need a stable order sort
 	// by unit and threshold). Empty on a clean run; under FailFast the
@@ -733,6 +750,40 @@ func (b *benchRun) settlePredictors(suite *predict.Suite, useCache, bpHit bool, 
 	return nil
 }
 
+// newLearnedCollector extracts the static branch-site features and
+// builds the tally observer for the learned predictor class. It returns
+// no observer when the class is off. Extraction is pure static analysis
+// of the image (internal/cfg + a successor-closure walk), traced under
+// its own flight-recorder unit.
+func (b *benchRun) newLearnedCollector(img *guest.Image, worker int) (*learned.Collector, []dbt.TraceObserver, error) {
+	if b.opts.Learned == nil {
+		return nil, nil, nil
+	}
+	start := time.Now()
+	sites, err := learned.ExtractSites(img)
+	b.record(obs.UnitLearnedCollect, 0, worker, start, 0, err)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: learned feature extraction of %s: %w", b.t.Name, err)
+	}
+	col := learned.NewCollector(sites)
+	return col, []dbt.TraceObserver{col}, nil
+}
+
+// settleLearned publishes the learned collection of a cold reference
+// run and settles its cache entry. No-op when the class is off.
+func (b *benchRun) settleLearned(col *learned.Collector, useCache, lsHit bool, lsKey resultcache.Key, lsCached lsEntry, worker int) error {
+	if col == nil {
+		return nil
+	}
+	data := col.BenchData(b.t.Name)
+	b.out.Learned = &data
+	if useCache {
+		computed := lsEntry{Fingerprint: b.opts.Learned.Fingerprint(), Data: data}
+		return b.cacheSettle(lsKey, lsHit, computed, lsCached, worker)
+	}
+	return nil
+}
+
 // distinctRungs deduplicates the threshold ladder: a ladder scaled far
 // down collapses — several paper-unit rungs clamp to the same effective
 // threshold — and identical configs would run identical engines. It
@@ -803,6 +854,20 @@ func (b *benchRun) refBody(worker int) error {
 		bpHit = b.cacheLookup(bpKey, &bpCached, worker) && bpEntryMatches(&bpCached, preds)
 	}
 
+	// The learned-predictor collection rides the same trace under its
+	// own threshold-independent entry, exactly like bp: a warm rerun
+	// replays it, a miss forces the cold path so the tallies can be
+	// re-observed.
+	var lsKey resultcache.Key
+	var lsCached lsEntry
+	lsHit := false
+	if useCache && b.opts.Learned != nil {
+		lsKey = b.lsCacheKey(b.refImgHash)
+		lsHit = b.cacheLookup(lsKey, &lsCached, worker) &&
+			lsEntryMatches(&lsCached, b.opts.Learned.Fingerprint(), b.t.Name)
+	}
+	lsWarm := b.opts.Learned == nil || lsHit
+
 	avepCfg := b.dbtConfig("ref", 0, false)
 	if b.opts.IndependentRuns {
 		var key resultcache.Key
@@ -812,9 +877,13 @@ func (b *benchRun) refBody(worker int) error {
 			key = b.runCacheKey(b.refImgHash, "ref", avepCfg)
 			hit = b.cacheLookup(key, &cached, worker) && cached.Snapshot != nil
 		}
-		if hit && (len(preds) == 0 || bpHit) && !b.opts.CacheVerify {
+		if hit && (len(preds) == 0 || bpHit) && lsWarm && !b.opts.CacheVerify {
 			if len(preds) > 0 {
 				b.out.Predictors = bpCached.Results
+			}
+			if b.opts.Learned != nil {
+				data := lsCached.Data
+				b.out.Learned = &data
 			}
 			b.recordAVEP(cached.Snapshot, cached.Cycles)
 		} else {
@@ -822,10 +891,15 @@ func (b *benchRun) refBody(worker int) error {
 			if err != nil {
 				return err
 			}
+			col, lobs, err := b.newLearnedCollector(img, worker)
+			if err != nil {
+				return err
+			}
+			observers = append(observers, lobs...)
 			start = time.Now()
 			var avep *profile.Snapshot
 			var stats *dbt.RunStats
-			if suite == nil {
+			if suite == nil && col == nil {
 				avep, stats, err = dbt.Run(img, tape, avepCfg)
 			} else {
 				// Single-config RunMulti is the same driver loop as
@@ -852,6 +926,9 @@ func (b *benchRun) refBody(worker int) error {
 				}
 			}
 			if err := b.settlePredictors(suite, useCache, bpHit, bpKey, bpCached, worker); err != nil {
+				return err
+			}
+			if err := b.settleLearned(col, useCache, lsHit, lsKey, lsCached, worker); err != nil {
 				return err
 			}
 			b.recordAVEP(avep, cyclesOf(avepCfg))
@@ -902,12 +979,16 @@ func (b *benchRun) refBody(worker int) error {
 			key = b.refCacheKey(b.refImgHash, cfgs)
 			hit = b.cacheLookup(key, &cached, worker) && refEntryMatches(&cached, cfgs)
 		}
-		if hit && (len(preds) == 0 || bpHit) && allSpHit && !b.opts.CacheVerify {
+		if hit && (len(preds) == 0 || bpHit) && lsWarm && allSpHit && !b.opts.CacheVerify {
 			// Warm path: replay the whole reference bundle without
 			// executing a single guest block. addRunStats is deliberately
 			// not called — a fully cached benchmark reports zero blocks.
 			if len(preds) > 0 {
 				b.out.Predictors = bpCached.Results
+			}
+			if b.opts.Learned != nil {
+				data := lsCached.Data
+				b.out.Learned = &data
 			}
 			b.recordAVEP(cached.AVEP, cached.AVEPCycles)
 			for j := range rungs {
@@ -923,6 +1004,11 @@ func (b *benchRun) refBody(worker int) error {
 			if err != nil {
 				return err
 			}
+			col, lobs, err := b.newLearnedCollector(img, worker)
+			if err != nil {
+				return err
+			}
+			observers = append(observers, lobs...)
 			runCfgs := cfgs
 			for _, sc := range spCfgs {
 				runCfgs = append(runCfgs, sc...)
@@ -950,6 +1036,9 @@ func (b *benchRun) refBody(worker int) error {
 				}
 			}
 			if err := b.settlePredictors(suite, useCache, bpHit, bpKey, bpCached, worker); err != nil {
+				return err
+			}
+			if err := b.settleLearned(col, useCache, lsHit, lsKey, lsCached, worker); err != nil {
 				return err
 			}
 			b.recordAVEP(snaps[0], cyclesOf(avepCfg))
@@ -1345,6 +1434,67 @@ func RunBenchmark(t Target, opts Options) (*BenchmarkResult, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// CollectLearnedData runs the learned-predictor collection pass for one
+// target outside the full study pipeline: extract the static branch
+// sites, execute the reference input once under a plain (unoptimized,
+// threshold-free) config, and tally outcomes. It shares the study
+// pipeline's `ls` cache entries — same key, same payload — so a daemon
+// assembling a training corpus and a study sweeping the same scale warm
+// each other, and a warm call executes zero guest blocks. Only Cache,
+// CacheContext, CacheVerify, Trace and Faults are honored from opts.
+func CollectLearnedData(t Target, lcfg learned.Config, opts Options) (*learned.BenchData, error) {
+	if err := lcfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Learned = &lcfg
+	b := &benchRun{t: t, opts: opts, out: &BenchmarkResult{Name: t.Name}, build: newBuildCache(t, opts.Faults)}
+	const worker = 0
+	start := time.Now()
+	img, tape, err := b.build.get("ref")
+	b.record(obs.UnitBuild, 0, worker, start, 0, err)
+	if err != nil {
+		return nil, err
+	}
+	useCache := b.cacheUsable()
+	var lsKey resultcache.Key
+	var lsCached lsEntry
+	lsHit := false
+	if useCache {
+		b.refImgHash = img.ContentHash()
+		lsKey = b.lsCacheKey(b.refImgHash)
+		lsHit = b.cacheLookup(lsKey, &lsCached, worker) &&
+			lsEntryMatches(&lsCached, lcfg.Fingerprint(), t.Name)
+		if lsHit && !opts.CacheVerify {
+			data := lsCached.Data
+			return &data, nil
+		}
+	}
+	col, observers, err := b.newLearnedCollector(img, worker)
+	if err != nil {
+		return nil, err
+	}
+	// No scheduler here, so build the config at the Options level (no
+	// cancellation channel to attach); the fault trap still arms so
+	// perturbed runs stay out of the cache like everywhere else.
+	cfg := b.opts.dbtConfig("ref", 0, false)
+	if n, ok := b.opts.Faults.Trap(t.Name, "ref"); ok {
+		cfg.TrapAfter = n
+	}
+	start = time.Now()
+	_, stats, err := dbt.RunMultiObserved(img, tape, []dbt.Config{cfg}, observers)
+	if err != nil {
+		err = fmt.Errorf("core: learned collection run of %s: %w", t.Name, err)
+		b.record(obs.UnitRef, 0, worker, start, 0, err)
+		return nil, err
+	}
+	b.addRunStats(stats[0])
+	b.recordRun(obs.UnitRef, 0, worker, start, stats...)
+	if err := b.settleLearned(col, useCache, lsHit, lsKey, lsCached, worker); err != nil {
+		return nil, err
+	}
+	return b.out.Learned, nil
 }
 
 // BuildFromAsm is a convenience Target builder for fixed assembler

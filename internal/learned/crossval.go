@@ -1,0 +1,161 @@
+// Leave-one-benchmark-out cross validation. Every reported number is
+// held out: fold i trains on all benchmarks except i and scores the
+// model on benchmark i's reference-trace tallies. Evaluation is
+// analytic — a static prediction per site, scored against the site's
+// tallies — so it needs no replay and is exact.
+package learned
+
+import "fmt"
+
+// FoldEval is one benchmark's held-out evaluation.
+type FoldEval struct {
+	Bench string `json:"bench"`
+	// Branches is the benchmark's resolved conditional-branch volume.
+	Branches uint64 `json:"branches"`
+	// Mispredicts counts branches the held-out model got wrong.
+	Mispredicts uint64 `json:"mispredicts"`
+	// TakenMispredicts is the always-taken baseline on the same stream.
+	TakenMispredicts uint64 `json:"taken_mispredicts"`
+}
+
+// Rate is the held-out mispredict rate (0 on an empty stream).
+func (f FoldEval) Rate() float64 {
+	if f.Branches == 0 {
+		return 0
+	}
+	return float64(f.Mispredicts) / float64(f.Branches)
+}
+
+// TakenRate is the always-taken mispredict rate on the same stream.
+func (f FoldEval) TakenRate() float64 {
+	if f.Branches == 0 {
+		return 0
+	}
+	return float64(f.TakenMispredicts) / float64(f.Branches)
+}
+
+// Eval scores a model's static predictions against a benchmark's
+// tallies. A site predicted taken contributes its not-taken count as
+// mispredicts, and vice versa.
+func Eval(m Model, b *BenchData) FoldEval {
+	out := FoldEval{Bench: b.Bench}
+	for i := range b.Sites {
+		s := &b.Sites[i]
+		if s.Count == 0 {
+			continue
+		}
+		out.Branches += s.Count
+		out.TakenMispredicts += s.Count - s.Taken
+		if m.PredictTaken(s.X) {
+			out.Mispredicts += s.Count - s.Taken
+		} else {
+			out.Mispredicts += s.Taken
+		}
+	}
+	return out
+}
+
+// CVResult is the full cross-validation outcome plus the model fit on
+// every benchmark (the deployable artifact the JSON dump reports).
+type CVResult struct {
+	// Fingerprint identifies the config + feature schema that produced
+	// this result.
+	Fingerprint string `json:"fingerprint"`
+	// Model is the configured model family.
+	Model string `json:"model"`
+	// FeatureNames is the feature order of Weights/Importances.
+	FeatureNames []string `json:"feature_names"`
+	// Folds holds one held-out evaluation per benchmark, in input
+	// order.
+	Folds []FoldEval `json:"folds"`
+	// Weights is the full-fit logistic-regression weight vector
+	// (logreg only).
+	Weights []float64 `json:"weights,omitempty"`
+	// Tree is the full-fit decision tree (tree only).
+	Tree *TreeNode `json:"tree,omitempty"`
+	// Importances is the full-fit model's per-feature importance.
+	Importances []float64 `json:"importances"`
+}
+
+// Totals sums the folds' branch and mispredict counts.
+func (r *CVResult) Totals() (branches, mispredicts, takenMispredicts uint64) {
+	for _, f := range r.Folds {
+		branches += f.Branches
+		mispredicts += f.Mispredicts
+		takenMispredicts += f.TakenMispredicts
+	}
+	return
+}
+
+// Rate is the suite-wide held-out mispredict rate.
+func (r *CVResult) Rate() float64 {
+	b, m, _ := r.Totals()
+	if b == 0 {
+		return 0
+	}
+	return float64(m) / float64(b)
+}
+
+// TakenRate is the suite-wide always-taken mispredict rate.
+func (r *CVResult) TakenRate() float64 {
+	b, _, t := r.Totals()
+	if b == 0 {
+		return 0
+	}
+	return float64(t) / float64(b)
+}
+
+// FoldFor returns the named benchmark's held-out evaluation.
+func (r *CVResult) FoldFor(bench string) (FoldEval, bool) {
+	for _, f := range r.Folds {
+		if f.Bench == bench {
+			return f, true
+		}
+	}
+	return FoldEval{}, false
+}
+
+// CrossValidate runs leave-one-benchmark-out cross validation over the
+// given benchmark data (caller order is preserved and part of the
+// deterministic contract — pass benchmarks in suite order) and fits
+// the final model on all of it.
+func CrossValidate(cfg Config, data []BenchData) (*CVResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) < 2 {
+		return nil, fmt.Errorf("learned: cross validation needs >= 2 benchmarks, have %d", len(data))
+	}
+	d := cfg.withDefaults()
+	res := &CVResult{
+		Fingerprint:  d.Fingerprint(),
+		Model:        d.Model,
+		FeatureNames: FeatureNames(),
+	}
+	train := make([]BenchData, 0, len(data)-1)
+	for i := range data {
+		train = train[:0]
+		for j := range data {
+			if j != i {
+				train = append(train, data[j])
+			}
+		}
+		m, err := Train(d, train)
+		if err != nil {
+			return nil, err
+		}
+		res.Folds = append(res.Folds, Eval(m, &data[i]))
+	}
+	full, err := Train(d, data)
+	if err != nil {
+		return nil, err
+	}
+	res.Importances = full.Importances()
+	switch m := full.(type) {
+	case *LogReg:
+		res.Weights = m.W
+	case *Tree:
+		res.Tree = m.Root
+	}
+	return res, nil
+}

@@ -1,0 +1,273 @@
+// Static feature extraction. ExtractSites enumerates every
+// conditional-branch site the translator can discover at run time and
+// computes its feature vector from the image alone — no execution, no
+// profile.
+//
+// Site identity matches the observer rail exactly: dbt.BranchEvent.PC
+// is the entry address of the *dynamic* block ending in the branch, and
+// dynamic blocks run from their entry to the first block-ending
+// instruction regardless of static leaders. The extractor therefore
+// replays the translator's discovery rule as a static closure: start
+// from the image entry, scan each block to its terminator, and follow
+// every statically known successor (branch targets, fall-throughs,
+// call targets and return sites, jump-table targets). The resulting
+// site set is a superset of what any execution can observe, so every
+// observed event maps to exactly one enumerated site.
+//
+// Loop-shape features come from internal/cfg's dominator and
+// natural-loop analyses over the static CFG; sites map into that graph
+// by the block containing their terminator.
+package learned
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/guest"
+	"repro/internal/isa"
+)
+
+// maxBlockLen mirrors the translator's block-length cap.
+const maxBlockLen = 4096
+
+// writesRd reports whether the opcode writes its Rd register.
+func writesRd(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpAddi, isa.OpLoadi, isa.OpLuhi,
+		isa.OpMov, isa.OpLoad, isa.OpIn, isa.OpFadd, isa.OpFmul, isa.OpFdiv:
+		return true
+	}
+	return false
+}
+
+// ExtractSites enumerates the image's conditional-branch sites in
+// ascending PC order with their feature vectors. The walk is a pure
+// function of the image bytes, so equal images yield bit-equal
+// feature tables.
+func ExtractSites(img *guest.Image) ([]Site, error) {
+	g, err := cfg.Build(img)
+	if err != nil {
+		return nil, err
+	}
+	code := make([]isa.Inst, len(img.Code))
+	for pc, w := range img.Code {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, err
+		}
+		code[pc] = in
+	}
+	loops := g.NaturalLoops()
+	loopHead := make(map[int]bool, len(loops))
+	for _, l := range loops {
+		loopHead[l.Head] = true
+	}
+	// containing maps every covered address to the start of the static
+	// block containing it, for loop-membership lookups.
+	containing := make(map[int]int, len(img.Code))
+	for _, start := range g.Starts() {
+		b := g.Blocks[start]
+		for pc := b.Start; pc <= b.End; pc++ {
+			containing[pc] = start
+		}
+	}
+
+	// Closure over the translator's dynamic block discovery.
+	entries := []int{img.Entry}
+	seen := map[int]bool{img.Entry: true}
+	push := func(pc int) {
+		if pc >= 0 && pc < len(code) && !seen[pc] {
+			seen[pc] = true
+			entries = append(entries, pc)
+		}
+	}
+	type dynBlock struct {
+		entry int
+		term  int // terminator address; -1 if the scan ran off the image
+	}
+	var blocks []dynBlock
+	for i := 0; i < len(entries); i++ {
+		entry := entries[i]
+		term := -1
+		for pc := entry; pc < len(code) && pc-entry < maxBlockLen; pc++ {
+			if code[pc].Op.EndsBlock() {
+				term = pc
+				break
+			}
+		}
+		blocks = append(blocks, dynBlock{entry: entry, term: term})
+		if term < 0 {
+			continue // malformed path: the translator would fault here
+		}
+		in := code[term]
+		switch {
+		case in.Op.IsCondBranch():
+			push(term + int(in.Imm))
+			push(term + 1)
+		case in.Op == isa.OpJmp:
+			push(term + int(in.Imm))
+		case in.Op == isa.OpCall:
+			push(term + int(in.Imm))
+			push(term + 1)
+		case in.Op == isa.OpJr:
+			for _, t := range img.JumpTables[term] {
+				push(t)
+			}
+		}
+	}
+
+	// pathEndsRet: the successor path from pc reaches ret/halt before
+	// any other control transfer.
+	pathEndsRet := func(pc int) bool {
+		for n := 0; pc >= 0 && pc < len(code) && n < maxBlockLen; n++ {
+			op := code[pc].Op
+			if op.EndsBlock() {
+				return op == isa.OpRet || op == isa.OpHalt
+			}
+			pc++
+		}
+		return false
+	}
+	isJoin := func(pc int) bool {
+		return len(g.Preds[pc]) >= 2
+	}
+	inLoopBody := func(l cfg.Loop, pc int) bool {
+		start, ok := containing[pc]
+		return ok && l.Body[start]
+	}
+
+	var sites []Site
+	for _, db := range blocks {
+		if db.term < 0 || !code[db.term].Op.IsCondBranch() {
+			continue
+		}
+		br := code[db.term]
+		takenPC := db.term + int(br.Imm)
+		fallPC := db.term + 1
+		x := make([]float64, len(featureNames))
+		set := func(name string, v float64) {
+			for j, n := range featureNames {
+				if n == name {
+					x[j] = v
+					return
+				}
+			}
+			panic("learned: unknown feature " + name)
+		}
+		x[0] = 1 // bias
+		if br.Imm <= 0 {
+			set("backward", 1)
+		}
+		mag := math.Log2(1+math.Abs(float64(br.Imm))) / float64(isa.ImmBits)
+		set("disp_mag", math.Min(mag, 1))
+		if loopHead[takenPC] {
+			set("taken_loop_head", 1)
+		}
+		depth := 0
+		takenExits, fallExits := false, false
+		if start, ok := containing[db.term]; ok {
+			for _, l := range loops {
+				if !l.Body[start] {
+					continue
+				}
+				depth++
+				if !inLoopBody(l, takenPC) {
+					takenExits = true
+				}
+				if !inLoopBody(l, fallPC) {
+					fallExits = true
+				}
+			}
+		}
+		set("loop_depth", math.Min(float64(depth)/4, 1))
+		if takenExits {
+			set("taken_exits_loop", 1)
+		}
+		if fallExits {
+			set("fall_exits_loop", 1)
+		}
+		switch br.Op {
+		case isa.OpBeq:
+			set("op_beq", 1)
+		case isa.OpBne:
+			set("op_bne", 1)
+		case isa.OpBlt:
+			set("op_blt", 1)
+		case isa.OpBge:
+			set("op_bge", 1)
+		}
+		var mem, flt, in float64
+		n := float64(db.term - db.entry + 1)
+		for pc := db.entry; pc <= db.term; pc++ {
+			op := code[pc].Op
+			switch {
+			case op.IsMemory():
+				mem++
+			case op.IsFloat():
+				flt++
+			case op == isa.OpIn:
+				in++
+			}
+		}
+		set("frac_mem", mem/n)
+		set("frac_float", flt/n)
+		set("frac_in", in/n)
+		set("block_len", math.Min(math.Log2(1+n)/8, 1))
+		if pathEndsRet(takenPC) {
+			set("taken_ret", 1)
+		}
+		if pathEndsRet(fallPC) {
+			set("fall_ret", 1)
+		}
+		if isJoin(takenPC) {
+			set("taken_join", 1)
+		}
+		if isJoin(fallPC) {
+			set("fall_join", 1)
+		}
+		// Operand provenance: the most recent in-block definition of
+		// either compared register. A load at a small constant offset is
+		// the strongest signal in parameterized code — it separates
+		// branch sites that are otherwise statically identical.
+		defFound := false
+		for pc := db.term - 1; pc >= db.entry; pc-- {
+			def := code[pc]
+			if !writesRd(def.Op) || (def.Rd != br.Rs && def.Rd != br.Rt) {
+				continue
+			}
+			defFound = true
+			switch def.Op {
+			case isa.OpLoadi:
+				set("cmp_def_loadi", 1)
+			case isa.OpIn:
+				set("cmp_def_in", 1)
+			case isa.OpLoad:
+				if def.Imm >= 0 && def.Imm <= 9 {
+					x[featureIndex("cmp_off_0")+int(def.Imm)] = 1
+				} else {
+					set("cmp_off_other", 1)
+				}
+			}
+			break
+		}
+		if !defFound {
+			set("cmp_def_none", 1)
+		}
+		sites = append(sites, Site{PC: int32(db.entry), X: x})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].PC < sites[j].PC })
+	return sites, nil
+}
+
+// featureIndex returns the index of a named feature; it panics on an
+// unknown name (a programming error, not an input error).
+func featureIndex(name string) int {
+	for j, n := range featureNames {
+		if n == name {
+			return j
+		}
+	}
+	panic("learned: unknown feature " + name)
+}

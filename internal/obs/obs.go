@@ -43,6 +43,14 @@ const (
 	UnitSample        = "sample"         // an independent-mode sampled ladder execution
 	UnitSampleCompare = "sample_compare" // one period's sampled-vs-AVEP comparison sweep
 
+	// Learned-predictor spans (core.Options.Learned). Collection is
+	// per-benchmark static feature extraction (the tallies ride the
+	// reference run's own span); fitting is the study-level
+	// cross-validated training pass, emitted under the pseudo-bench
+	// "suite".
+	UnitLearnedCollect = "learned_collect" // static branch-site feature extraction
+	UnitLearnedFit     = "learned_fit"     // suite-level cross-validated training
+
 	// Fleet-protocol spans (internal/fleet): the coordinator's lease
 	// lifecycle. Worker is always 0 — leases belong to remote workers,
 	// not pool slots — and Err names the remote worker or carries the
@@ -71,6 +79,9 @@ var validUnits = map[string]bool{
 
 	UnitSample:        true,
 	UnitSampleCompare: true,
+
+	UnitLearnedCollect: true,
+	UnitLearnedFit:     true,
 
 	UnitLeaseGrant:    true,
 	UnitLeaseExpire:   true,

@@ -305,7 +305,11 @@ func (p *perceptron) Update(pc int32, taken bool) {
 	// value Predict used.
 	sum := p.output(pc)
 	pred := sum >= 0
-	if pred != taken || sum < percTheta && sum > -percTheta {
+	// Train on a mispredict or while |output| has not cleared theta.
+	// The comparison is inclusive — |output| == theta still trains —
+	// matching the published training rule (|y_out| <= theta); the
+	// strict form quietly stopped one update early at the boundary.
+	if pred != taken || sum <= percTheta && sum >= -percTheta {
 		w := &p.weights[int(uint32(pc))&percRowMask]
 		bump := func(i int, agree bool) {
 			if agree {

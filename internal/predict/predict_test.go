@@ -173,6 +173,90 @@ func TestPerceptronWeightsSaturate(t *testing.T) {
 	}
 }
 
+// Perceptron boundary pins. The training rule is: train on a
+// mispredict, or while |output| <= theta (inclusive). The weight clamp
+// is the int8 range [-128, 127] exactly. These tests construct exact
+// boundary outputs by hand — history is all-zeros, so every history
+// weight contributes its negation and the bias contributes itself.
+
+// outputAt sets up a perceptron whose dot product for pc 8 is exactly
+// the given bias minus the first history weight.
+func percWith(bias, w1 int16) *perceptron {
+	p := newPerceptron()
+	p.weights[8][0] = bias
+	p.weights[8][1] = w1
+	return p
+}
+
+func TestPerceptronTrainsAtExactlyTheta(t *testing.T) {
+	// output = theta exactly, prediction correct: the inclusive rule
+	// still trains (the strict form stopped one update early here).
+	p := percWith(percTheta, 0)
+	if got := p.output(8); got != percTheta {
+		t.Fatalf("constructed output = %d, want %d", got, percTheta)
+	}
+	p.Update(8, true)
+	if w := p.weights[8][0]; w != percTheta+1 {
+		t.Fatalf("bias after correct prediction at |output|==theta: %d, want %d (must train)", w, percTheta+1)
+	}
+	if !p.Predict(8) {
+		t.Fatal("prediction flipped by an on-edge training update")
+	}
+}
+
+func TestPerceptronStopsTrainingPastTheta(t *testing.T) {
+	// output = theta+1, prediction correct: confidence has cleared the
+	// threshold, no update.
+	p := percWith(percTheta+1, 0)
+	p.Update(8, true)
+	if w := p.weights[8][0]; w != percTheta+1 {
+		t.Fatalf("bias after correct prediction past theta: %d, want unchanged %d", w, percTheta+1)
+	}
+}
+
+func TestPerceptronTrainsAtExactlyMinusTheta(t *testing.T) {
+	p := percWith(-percTheta, 0)
+	if got := p.output(8); got != -percTheta {
+		t.Fatalf("constructed output = %d, want %d", got, -percTheta)
+	}
+	p.Update(8, false)
+	if w := p.weights[8][0]; w != -percTheta-1 {
+		t.Fatalf("bias after correct prediction at -theta: %d, want %d (must train)", w, -percTheta-1)
+	}
+}
+
+func TestPerceptronClampAtExactlyMax(t *testing.T) {
+	// Bias saturated at +127; the history weight drags the output back
+	// inside theta so the update rule fires. The agreeing bump must hold
+	// at the clamp, never wrap.
+	p := percWith(percWMax, 100)
+	if got := p.output(8); got != percWMax-100 {
+		t.Fatalf("constructed output = %d", got)
+	}
+	p.Update(8, true)
+	if w := p.weights[8][0]; w != percWMax {
+		t.Fatalf("saturated bias moved to %d, want clamped %d", w, percWMax)
+	}
+	// The disagreeing history weight still decrements normally.
+	if w := p.weights[8][1]; w != 99 {
+		t.Fatalf("history weight = %d, want 99", w)
+	}
+}
+
+func TestPerceptronClampAtExactlyMin(t *testing.T) {
+	p := percWith(percWMin, -100)
+	if got := p.output(8); got != percWMin+100 {
+		t.Fatalf("constructed output = %d", got)
+	}
+	p.Update(8, false)
+	if w := p.weights[8][0]; w != percWMin {
+		t.Fatalf("saturated bias moved to %d, want clamped %d", w, percWMin)
+	}
+	if w := p.weights[8][1]; w != -99 {
+		t.Fatalf("history weight = %d, want -99", w)
+	}
+}
+
 func TestSuiteRecordCountsPerPredictor(t *testing.T) {
 	s, err := NewSuite([]string{"taken", "nottaken"})
 	if err != nil {

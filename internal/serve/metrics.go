@@ -165,6 +165,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		gauge("inipd_sampled_cost_ratio", "aggregate sampled over full-instrumentation counter-update ratio of compare reruns", fmt.Sprintf("%.6f", ratio))
 	}
+	// Learned-model accounting, same emit-only-when-used contract.
+	if lc := s.m.learnedCompares.Load(); lc > 0 {
+		counter("inipd_learned_compares_total", "compare requests that scored the held-out learned static model", lc)
+		branches := s.m.learnedBranches.Load()
+		mis := s.m.learnedMispredicts.Load()
+		takenMis := s.m.learnedTakenMispredicts.Load()
+		counter("inipd_learned_branches_total", "held-out branches scored by the learned model across compare requests", branches)
+		counter("inipd_learned_mispredicts_total", "held-out learned-model mispredictions across compare requests", mis)
+		counter("inipd_learned_taken_mispredicts_total", "always-taken baseline mispredictions on the same held-out streams", takenMis)
+		// Guarded like blocks-per-second: an empty stream exports 0, not NaN.
+		rate := 0.0
+		if branches > 0 {
+			rate = float64(mis) / float64(branches)
+		}
+		gauge("inipd_learned_mispredict_rate", "aggregate held-out learned-model mispredict rate", fmt.Sprintf("%.6f", rate))
+	}
 	if sampledUnits > 0 {
 		counter("inipd_study_sampled_units_total", "sampled-profiling ladder units executed by finished study jobs", sampledUnits)
 		counter("inipd_study_sampled_profiling_ops_total", "counter updates performed by sampled study units (actual sampled events, not scaled)", sampledStudyOps)

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/learned"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/predict"
@@ -134,7 +135,7 @@ type Server struct {
 
 	// exec performs one comparison; tests swap it to count and gate
 	// executions without running the pipeline.
-	exec func(key string, bench *spec.Benchmark, paperT, scale float64, predictors []string, samplePeriod uint64) *compareOut
+	exec func(key string, bench *spec.Benchmark, paperT, scale float64, predictors []string, samplePeriod uint64, learnedModel string) *compareOut
 
 	// Mean compare duration, the Retry-After estimator's numerator.
 	// Tests seed these directly to make the hint deterministic.
@@ -178,6 +179,14 @@ type serverMetrics struct {
 	sampledCompares atomic.Uint64
 	sampledOps      atomic.Uint64
 	sampledFullOps  atomic.Uint64
+
+	// Learned-model compare accounting (requests with learned): how
+	// many ran, and the aggregate held-out branch stream with its
+	// learned and always-taken mispredict volumes.
+	learnedCompares         atomic.Uint64
+	learnedBranches         atomic.Uint64
+	learnedMispredicts      atomic.Uint64
+	learnedTakenMispredicts atomic.Uint64
 }
 
 // New builds a Server: opens (and, with Resume, re-enqueues) the job
@@ -290,10 +299,13 @@ func (s *Server) admit(r *http.Request) (release func(), status int) {
 // retryAfterSeconds estimates when a rejected caller should come back:
 // the current backlog (occupied inflight slots plus the wait line)
 // times the mean compare duration, spread over the parallel slots,
-// rounded up to whole seconds and clamped to [1, 60]. With no
-// completed compare yet the mean defaults to one second, reproducing
-// the old fixed hint; the estimator is deterministic given the
-// duration totals, which tests seed directly.
+// rounded up to whole seconds and clamped to [1, 60]. The estimate is
+// always inside that documented interval — never 0, even on a fresh
+// server that has completed no compare (the mean defaults to one
+// second, reproducing the old fixed hint) or a server whose config
+// bypassed defaults() with zero inflight slots (the divisor is clamped
+// to 1, not divided through). Deterministic given the duration totals,
+// which tests seed directly.
 func (s *Server) retryAfterSeconds() int {
 	mean := time.Second
 	if n := s.compareDurCount.Load(); n > 0 {
@@ -303,7 +315,11 @@ func (s *Server) retryAfterSeconds() int {
 	if backlog < 1 {
 		backlog = 1
 	}
-	est := time.Duration(backlog) * mean / time.Duration(s.cfg.MaxInflight)
+	slots := s.cfg.MaxInflight
+	if slots < 1 {
+		slots = 1
+	}
+	est := time.Duration(backlog) * mean / time.Duration(slots)
 	secs := int64((est + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -335,6 +351,14 @@ type compareRequest struct {
 	// Zero (the default) keeps the response byte-identical to requests
 	// made before the field existed.
 	SamplePeriod uint64 `json:"sample_period,omitempty"`
+	// Learned, when non-empty, selects the profile-free learned static
+	// branch model family ("logreg" or "tree") to score on this
+	// benchmark held-out: the model trains on the rest of the suite's
+	// reference collections (warmed through the shared result cache)
+	// and never sees any profile of the requested benchmark. Empty (the
+	// default) keeps the response byte-identical to requests made
+	// before the field existed.
+	Learned string `json:"learned,omitempty"`
 }
 
 // summaryWire is metrics.Summary with JSON names pinned: the struct in
@@ -389,6 +413,24 @@ type compareResponse struct {
 	// without the request field, keeping legacy responses byte-identical.
 	SamplePeriod uint64       `json:"sample_period,omitempty"`
 	Sampled      *sampledWire `json:"sampled,omitempty"`
+	// Learned carries the held-out learned-model evaluation; omitted
+	// entirely without the request field, keeping legacy responses
+	// byte-identical.
+	Learned *learnedWire `json:"learned,omitempty"`
+}
+
+// learnedWire is the held-out learned-model evaluation on the wire:
+// the requested benchmark's branch stream scored by a model trained on
+// every other suite benchmark's reference collection.
+type learnedWire struct {
+	Fingerprint      string  `json:"fingerprint"`
+	Branches         uint64  `json:"branches"`
+	Mispredicts      uint64  `json:"mispredicts"`
+	MispredictRate   float64 `json:"mispredict_rate"`
+	TakenMispredicts uint64  `json:"taken_mispredicts"`
+	// TrainBenchmarks counts the corpus the model trained on (the suite
+	// minus the requested benchmark).
+	TrainBenchmarks int `json:"train_benchmarks"`
 }
 
 // sampledWire is the sampled-profiling rerun on the wire: the same
@@ -452,6 +494,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Learned != "" {
+		if err := (learned.Config{Model: req.Learned}).Validate(); err != nil {
+			errorJSON(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	scale := req.Scale
 	if scale <= 0 {
 		scale = s.cfg.Scale
@@ -494,6 +542,9 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if req.SamplePeriod > 0 {
 		key += fmt.Sprintf("|sp=%d", req.SamplePeriod)
 	}
+	if req.Learned != "" {
+		key += "|ls=" + (learned.Config{Model: req.Learned}).Fingerprint()
+	}
 	s.flightMu.Lock()
 	f, follower := s.flights[key]
 	if !follower {
@@ -507,7 +558,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	} else {
 		go func() {
 			execStart := time.Now()
-			f.out = s.exec(key, bench, req.T, scale, req.Predictors, req.SamplePeriod)
+			f.out = s.exec(key, bench, req.T, scale, req.Predictors, req.SamplePeriod, req.Learned)
 			s.compareDurNS.Add(int64(time.Since(execStart)))
 			s.compareDurCount.Add(1)
 			s.flightMu.Lock()
@@ -558,7 +609,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // shared scheduler and renders the canonical response body. It runs to
 // completion regardless of any caller's deadline — abandoning it would
 // waste the work the cache is about to keep.
-func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float64, predictors []string, samplePeriod uint64) *compareOut {
+func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float64, predictors []string, samplePeriod uint64, learnedModel string) *compareOut {
 	eff := study.EffectiveThreshold(paperT, scale)
 	var timing core.Timing
 	opts := core.Options{
@@ -574,6 +625,11 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 	}
 	if samplePeriod > 0 {
 		opts.SamplePeriods = []uint64{samplePeriod}
+	}
+	var learnedCfg *learned.Config
+	if learnedModel != "" {
+		learnedCfg = &learned.Config{Model: learnedModel}
+		opts.Learned = learnedCfg
 	}
 	done := make(chan *core.BenchmarkResult, 1)
 	core.ScheduleBenchmark(s.sched, bench.Target(scale), opts, func(r *core.BenchmarkResult) {
@@ -626,6 +682,14 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 		resp.Sampled = sw
 		s.recordSampled(sw)
 	}
+	if learnedCfg != nil && res.Learned != nil {
+		lw, err := s.learnedCompare(bench, scale, *learnedCfg, res.Learned, &timing)
+		if err != nil {
+			return &compareOut{status: http.StatusInternalServerError, errMsg: err.Error()}
+		}
+		resp.Learned = lw
+		s.recordLearned(lw)
+	}
 	body, err := json.Marshal(resp)
 	if err != nil {
 		return &compareOut{status: http.StatusInternalServerError, errMsg: err.Error()}
@@ -635,6 +699,56 @@ func (s *Server) runCompare(_ string, bench *spec.Benchmark, paperT, scale float
 		body:   append(body, '\n'),
 		blocks: timing.BlocksExecuted.Load(),
 	}
+}
+
+// learnedCompare scores the requested benchmark's reference collection
+// with a model trained on every other suite benchmark at the same
+// scale — strictly held-out, exactly the study's leave-one-out fold for
+// this benchmark. Corpus collections go through core.CollectLearnedData,
+// which shares the study pipeline's `ls` cache entries, so a warm
+// corpus executes zero guest blocks; timing accumulates any cold
+// collection's block count into the response's guest-block header.
+func (s *Server) learnedCompare(bench *spec.Benchmark, scale float64, lcfg learned.Config, data *learned.BenchData, timing *core.Timing) (*learnedWire, error) {
+	opts := core.Options{
+		Timing:       timing,
+		Trace:        s.cfg.Trace,
+		Cache:        s.cfg.Cache,
+		CacheContext: fmt.Sprintf("scale=%g", scale),
+	}
+	var corpus []learned.BenchData
+	for _, b := range spec.Suite() {
+		if b.Name == bench.Name {
+			continue
+		}
+		d, err := core.CollectLearnedData(b.Target(scale), lcfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("learned corpus %s: %w", b.Name, err)
+		}
+		corpus = append(corpus, *d)
+	}
+	m, err := learned.Train(lcfg, corpus)
+	if err != nil {
+		return nil, fmt.Errorf("learned fit: %w", err)
+	}
+	ev := learned.Eval(m, data)
+	return &learnedWire{
+		Fingerprint:      lcfg.Fingerprint(),
+		Branches:         ev.Branches,
+		Mispredicts:      ev.Mispredicts,
+		MispredictRate:   ev.Rate(),
+		TakenMispredicts: ev.TakenMispredicts,
+		TrainBenchmarks:  len(corpus),
+	}, nil
+}
+
+// recordLearned folds one held-out learned compare into the
+// process-lifetime totals behind /v1/metrics. Warm compares count too:
+// their collections come out of the result cache fully populated.
+func (s *Server) recordLearned(lw *learnedWire) {
+	s.m.learnedCompares.Add(1)
+	s.m.learnedBranches.Add(lw.Branches)
+	s.m.learnedMispredicts.Add(lw.Mispredicts)
+	s.m.learnedTakenMispredicts.Add(lw.TakenMispredicts)
 }
 
 // recordSampled folds one sampled compare into the process-lifetime

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,7 +28,7 @@ func newTestServer(t *testing.T, cfg Config, gate chan struct{}, calls *atomic.I
 		t.Fatal(err)
 	}
 	if gate != nil {
-		s.exec = func(key string, _ *spec.Benchmark, _, _ float64, _ []string, _ uint64) *compareOut {
+		s.exec = func(key string, _ *spec.Benchmark, _, _ float64, _ []string, _ uint64, _ string) *compareOut {
 			calls.Add(1)
 			<-gate
 			return &compareOut{
@@ -586,6 +587,47 @@ func TestRetryAfterHeaderReflectsEstimate(t *testing.T) {
 	}
 }
 
+// TestRetryAfterColdStart pins the cold-start regression: a fresh
+// server that has never completed a compare must still emit a
+// Retry-After inside the documented [1, 60] interval on its very first
+// 429 — not 0, and never a divide-by-zero even if the config reached
+// the estimator with zero inflight slots.
+func TestRetryAfterColdStart(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	s := newTestServer(t, Config{Workers: 1, MaxInflight: 1, MaxQueue: -1}, gate, &calls)
+
+	// First-ever request occupies the only slot; no duration history
+	// exists yet.
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postCompare(s, `{"bench":"gzip","t":2000}`) }()
+	waitFor(t, "leader to start executing", func() bool { return calls.Load() == 1 })
+
+	w := postCompare(s, `{"bench":"mcf","t":2000}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", w.Code)
+	}
+	secs, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", w.Header().Get("Retry-After"), err)
+	}
+	if secs < 1 || secs > 60 {
+		t.Fatalf("cold-start Retry-After = %d, want within [1, 60]", secs)
+	}
+
+	close(gate)
+	if w := <-first; w.Code != http.StatusOK {
+		t.Fatalf("admitted request failed: %d", w.Code)
+	}
+
+	// Degenerate config: an estimator reached with zero slots (defaults
+	// bypassed) must clamp the divisor, not divide by zero.
+	s.cfg.MaxInflight = 0
+	if got := s.retryAfterSeconds(); got < 1 || got > 60 {
+		t.Fatalf("zero-slot hint = %d, want within [1, 60]", got)
+	}
+}
+
 // TestMetricsWarmStudyThroughputZero pins the satellite-3 guard: a
 // fully cache-warm study finishes with guest blocks recorded but zero
 // run-unit wall-clock, and the blocks-per-second gauge must expose 0
@@ -792,5 +834,112 @@ func TestCompareSampledE2E(t *testing.T) {
 	presp.Body.Close()
 	if strings.Contains(string(praw), "sampled") {
 		t.Fatalf("sampling-less exposition mentions sampled families:\n%s", praw)
+	}
+}
+
+// TestCompareLearnedE2E drives the learned-model selection end to end:
+// a compare with learned reports the strictly held-out evaluation
+// (trained on every other suite benchmark), replays byte-identically
+// warm with zero guest blocks, feeds the learned metrics — and a
+// request without the field keeps the legacy wire format and the legacy
+// metrics exposition untouched.
+func TestCompareLearnedE2E(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Scale: 0.001, Workers: 1, Cache: cache}, nil, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/compare", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, raw
+	}
+
+	if resp, raw := post(`{"bench":"gzip","t":2000,"learned":"oracle"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown learned model: %d %s, want 400", resp.StatusCode, raw)
+	}
+
+	const reqBody = `{"bench":"gzip","t":2000,"learned":"logreg"}`
+	cold, coldBody := post(reqBody)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold compare: %d %s", cold.StatusCode, coldBody)
+	}
+	var resp compareResponse
+	if err := json.Unmarshal(coldBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	lw := resp.Learned
+	if lw == nil {
+		t.Fatalf("learned field missing: %s", coldBody)
+	}
+	if lw.Branches == 0 {
+		t.Fatalf("learned eval saw no branches: %+v", lw)
+	}
+	if want := float64(lw.Mispredicts) / float64(lw.Branches); lw.MispredictRate != want {
+		t.Fatalf("learned rate %v, want %v", lw.MispredictRate, want)
+	}
+	if want := len(spec.Suite()) - 1; lw.TrainBenchmarks != want {
+		t.Fatalf("trained on %d benchmarks, want %d (held-out fold)", lw.TrainBenchmarks, want)
+	}
+	if !strings.HasPrefix(lw.Fingerprint, "learned-") {
+		t.Fatalf("fingerprint %q", lw.Fingerprint)
+	}
+
+	warm, warmBody := post(reqBody)
+	if got := warm.Header.Get("X-Inipd-Guest-Blocks"); got != "0" {
+		t.Fatalf("warm learned compare executed %s guest blocks, want 0", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Fatalf("warm learned body differs from cold:\n%s\n%s", coldBody, warmBody)
+	}
+
+	// Warm compares still fold into the exported totals: two runs.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mraw)
+	if !strings.Contains(metrics, "inipd_learned_compares_total 2\n") {
+		t.Fatalf("metrics missing learned compare counter:\n%s", metrics)
+	}
+	wantBranches := fmt.Sprintf("inipd_learned_branches_total %d\n", 2*lw.Branches)
+	if !strings.Contains(metrics, wantBranches) {
+		t.Fatalf("metrics missing %q:\n%s", wantBranches, metrics)
+	}
+	if !strings.Contains(metrics, "inipd_learned_mispredict_rate ") {
+		t.Fatalf("learned rate gauge missing:\n%s", metrics)
+	}
+
+	// A request without learned keeps the legacy wire format.
+	_, legacyBody := post(`{"bench":"gzip","t":2000}`)
+	if bytes.Contains(legacyBody, []byte("learned")) {
+		t.Fatalf("legacy response leaked a learned field:\n%s", legacyBody)
+	}
+
+	// A process that never ran learned work keeps the legacy metrics
+	// exposition byte-for-byte free of learned families.
+	plain := newTestServer(t, Config{Scale: 0.001, Workers: 1}, nil, nil)
+	pts := httptest.NewServer(plain.Handler())
+	defer pts.Close()
+	presp, err := http.Get(pts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	praw, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if strings.Contains(string(praw), "learned") {
+		t.Fatalf("learned-less exposition mentions learned families:\n%s", praw)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/learned"
 	"repro/internal/obs"
 )
 
@@ -39,6 +40,11 @@ type checkpointHeader struct {
 	// SamplePeriods is the requested sampled-profiling period ladder;
 	// omitted when empty for the same backwards compatibility.
 	SamplePeriods []uint64 `json:"sample_periods,omitempty"`
+	// Learned is the learned-model fingerprint (config + feature-schema
+	// version); omitted when the study ran no learned collection. A
+	// mismatch refuses the resume: series carry per-site feature vectors
+	// whose meaning the fingerprint pins.
+	Learned string `json:"learned,omitempty"`
 }
 
 // checkpointer persists completed benchmark series. Every commit
@@ -84,6 +90,7 @@ func openCheckpoint(cfg *Config, paperT []float64) (*checkpointer, map[string]Be
 			Benchmarks:      names,
 			Predictors:      cfg.Predictors,
 			SamplePeriods:   cfg.SamplePeriods,
+			Learned:         learnedFingerprint(cfg.Learned),
 		},
 		order: order,
 		done:  make(map[string]BenchmarkSeries),
@@ -109,6 +116,15 @@ func openCheckpoint(cfg *Config, paperT []float64) (*checkpointer, map[string]Be
 		return nil, nil, fmt.Errorf("study: resume %s: %w", cfg.Checkpoint, err)
 	}
 	return c, resumed, nil
+}
+
+// learnedFingerprint is the header form of the learned config: empty
+// when the class is off, the model fingerprint otherwise.
+func learnedFingerprint(c *learned.Config) string {
+	if c == nil {
+		return ""
+	}
+	return c.Fingerprint()
 }
 
 // readCheckpoint parses and validates a checkpoint stream against the
@@ -189,6 +205,9 @@ func matchHeader(got, want checkpointHeader) error {
 	}
 	if !equalUints(got.SamplePeriods, want.SamplePeriods) {
 		return fmt.Errorf("checkpoint sample periods %v, this run selects %v", got.SamplePeriods, want.SamplePeriods)
+	}
+	if got.Learned != want.Learned {
+		return fmt.Errorf("checkpoint learned model %q, this run uses %q", got.Learned, want.Learned)
 	}
 	return nil
 }

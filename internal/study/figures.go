@@ -337,6 +337,7 @@ func (r *Results) Figures() []Figure {
 	}
 	figs = append(figs, r.predictorFigures()...)
 	figs = append(figs, r.sampleFigures()...)
+	figs = append(figs, r.learnedFigures()...)
 	if gaps := r.gapNotes(); len(gaps) > 0 {
 		for i := range figs {
 			figs[i].Gaps = gaps
@@ -346,8 +347,9 @@ func (r *Results) Figures() []Figure {
 }
 
 // FigureByID returns the named figure ("fig8".."fig18", plus
-// "figp1"/"figp2" when the study ran predictors and "figs1"/"figs2"
-// when it swept sampled-profiling periods), or false.
+// "figp1"/"figp2" when the study ran predictors, "figs1"/"figs2" when
+// it swept sampled-profiling periods, and "figl1"/"figl2" when it fit
+// the learned static model), or false.
 func (r *Results) FigureByID(id string) (Figure, bool) {
 	for _, f := range r.Figures() {
 		if f.ID == id {

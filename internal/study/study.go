@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/learned"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/predict"
@@ -126,6 +127,18 @@ type Config struct {
 	// figure byte-identical. Periods of 1 exercise the sampling
 	// machinery but are full instrumentation by definition.
 	SamplePeriods []uint64
+	// Learned, when non-nil, adds the profile-free learned static
+	// branch model as a third predictor class: per-benchmark static
+	// features and reference-trace tallies are collected off the shared
+	// trace (the guest still executes once per benchmark), then the
+	// model is fit suite-wide with leave-one-benchmark-out cross
+	// validation after every benchmark completes — each benchmark's
+	// reported accuracy comes from a model that never saw any profile
+	// of it. Fills Results.Learned and the figl1/figl2 figures; every
+	// legacy figure stays byte-identical. The config's Fingerprint is
+	// pinned in checkpoint headers — resuming under a different model
+	// config is refused.
+	Learned *learned.Config
 	// Executor, when non-nil, runs each benchmark unit through it
 	// instead of scheduling directly on the study's pool — the seam the
 	// distributed fleet plugs into (internal/fleet's coordinator is a
@@ -233,6 +246,11 @@ func (c *Config) Validate() error {
 		}
 		predSeen[name] = true
 	}
+	if c.Learned != nil {
+		if err := c.Learned.Validate(); err != nil {
+			return fmt.Errorf("study: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -279,6 +297,7 @@ func (c *Config) UnitOptions(thresholds []uint64, timing *core.Timing) core.Opti
 		CacheVerify:     c.CacheVerify,
 		Predictors:      c.Predictors,
 		SamplePeriods:   c.SamplePeriods,
+		Learned:         c.Learned,
 		// Scale is the one study parameter that shapes results
 		// without being visible in image, tape or engine config
 		// (it clamps the effective ladder), so it anchors the key
@@ -315,6 +334,11 @@ type BenchmarkSeries struct {
 	// Config.SamplePeriods entry; absent (and omitted from checkpoints)
 	// when no periods were requested.
 	Sampling []core.SamplePeriodResult `json:",omitempty"`
+	// Learned holds this benchmark's learned-predictor collection
+	// (static site features + reference-trace tallies); absent (and
+	// omitted from checkpoints) when Config.Learned was nil. The
+	// suite-level fit consumes these after every benchmark completes.
+	Learned *learned.BenchData `json:",omitempty"`
 }
 
 // SeriesFromResult converts one benchmark's completed unit result into
@@ -335,6 +359,7 @@ func SeriesFromResult(b *spec.Benchmark, out *core.BenchmarkResult) BenchmarkSer
 		Failures:     out.Failures,
 		Predictors:   out.Predictors,
 		Sampling:     out.Sampling,
+		Learned:      out.Learned,
 	}
 }
 
@@ -354,6 +379,13 @@ type Results struct {
 	// sorted by benchmark, unit and threshold — the study-level record
 	// of what a degraded run is missing.
 	Failures []core.UnitFailure `json:",omitempty"`
+	// Learned is the suite-level leave-one-benchmark-out fit of the
+	// learned static branch model, present when Config.Learned was set
+	// and at least two benchmarks completed cleanly. It is recomputed
+	// from the per-benchmark series on every Run — including resumed
+	// ones, where the series come out of the checkpoint — so it is a
+	// pure function of Series and the model config.
+	Learned *learned.CVResult `json:",omitempty"`
 	// Perf reports where the study's wall-clock went.
 	Perf Perf
 }
@@ -543,6 +575,18 @@ func Run(cfg Config) (*Results, error) {
 		res.Failures = append(res.Failures, res.Series[i].Failures...)
 	}
 	sortFailures(res.Failures)
+
+	// Suite-level learned fit: leave-one-benchmark-out cross validation
+	// over every cleanly completed series. It runs on resumed and
+	// stopped studies too (the collections ride the checkpoint), so
+	// Results.Learned is always a pure function of Series and the model
+	// config. A fit error on an otherwise clean study is a study error;
+	// on a stopped study the stop sentinel wins.
+	if cfg.Learned != nil {
+		if ferr := res.fitLearned(*cfg.Learned, cfg.Trace); ferr != nil && werr == nil {
+			return nil, fmt.Errorf("study: %w", ferr)
+		}
+	}
 
 	wall := time.Since(start)
 	res.Perf = Perf{
